@@ -1,0 +1,61 @@
+// Ablation: the two design decisions inside Spaden's kernel (paper §4.3).
+//
+//   * Pairing — two 8x8 blocks placed diagonally per fragment, 16 output
+//     rows per MMA ("a double of DASP's throughput"). The Unpaired variant
+//     keeps everything else and fills only the top-left portion: half the
+//     rows per warp, twice the MMAs per block.
+//   * Direct register access (§3) — the Conventional variant routes both
+//     fragments through the documented WMMA staging path (a 256-element
+//     shared-memory round trip per fragment per iteration, zeros included).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace spaden;
+
+int main() {
+  const double scale = mat::bench_scale();
+  bench::print_banner("Ablation: block pairing and direct register access (L40)", scale);
+
+  const std::vector<kern::Method> methods = {
+      kern::Method::Spaden,
+      kern::Method::SpadenUnpaired,
+      kern::Method::SpadenConventional,
+      kern::Method::SpadenWide,
+  };
+
+  Table table({"Matrix", "Spaden", "unpaired", "WMMA path", "Spaden-16", "pairing gain",
+               "direct-access gain", "MMAs paired", "MMAs unpaired"});
+  std::vector<double> pairing_gains;
+  std::vector<double> access_gains;
+  for (const char* name : {"conf5", "cant", "pwtk", "Si41Ge41H72"}) {
+    const auto& info = mat::dataset_by_name(name);
+    const mat::Csr a = bench::load_with_progress(info, scale);
+    const auto paired = bench::run_with_progress(sim::l40(), methods[0], a, name);
+    const auto unpaired = bench::run_with_progress(sim::l40(), methods[1], a, name);
+    const auto conventional = bench::run_with_progress(sim::l40(), methods[2], a, name);
+    const auto wide = bench::run_with_progress(sim::l40(), methods[3], a, name);
+    pairing_gains.push_back(paired.gflops / unpaired.gflops);
+    access_gains.push_back(paired.gflops / conventional.gflops);
+    table.add_row({name, fmt_double(paired.gflops, 1), fmt_double(unpaired.gflops, 1),
+                   fmt_double(conventional.gflops, 1), fmt_double(wide.gflops, 1),
+                   strfmt("%.2fx", pairing_gains.back()),
+                   strfmt("%.2fx", access_gains.back()),
+                   strfmt("%llu",
+                          static_cast<unsigned long long>(paired.stats.tc_mma_m16n16k16)),
+                   strfmt("%llu", static_cast<unsigned long long>(
+                                      unpaired.stats.tc_mma_m16n16k16))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nGeomean gains: pairing %.2fx, direct register access %.2fx.\n"
+      "The unpaired variant issues ~2x the MMAs for the same work and halves\n"
+      "the rows in flight per warp; the conventional path pays a 3x256\n"
+      "lane-op staging round trip per fragment pair per iteration — the two\n"
+      "overheads §4.3.3 credits Spaden with eliminating. Spaden-16 trades the\n"
+      "pairing for one 16x16 block per fragment (bitBSR16): the same 16 rows\n"
+      "per pass, with block fill deciding which granularity stores and\n"
+      "streams less.\n",
+      analysis::geomean(pairing_gains), analysis::geomean(access_gains));
+  return 0;
+}

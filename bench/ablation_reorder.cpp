@@ -1,0 +1,70 @@
+// Ablation: reordering as a bitBSR preprocessing step (related-work §6
+// meets §5.4).
+//
+// Spaden's effective scope excludes low-degree matrices because their
+// blocks are nearly empty. Reordering renumbers connected vertices close
+// together, packing the same nonzeros into fewer, fuller blocks — this
+// bench measures how far RCM and degree ordering move the §5.4 structural
+// metrics (Bnnz, fill, sparse-block ratio) and Spaden's modeled throughput
+// on the two out-of-scope matrices and a power-law graph.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "matrix/block_stats.hpp"
+#include "matrix/reorder.hpp"
+
+using namespace spaden;
+
+namespace {
+
+struct Row {
+  std::string label;
+  mat::Csr matrix;
+};
+
+void report(Table& table, const std::string& name, const std::string& order,
+            const mat::Csr& a) {
+  const auto stats = mat::compute_block_stats(mat::BitBsr::from_csr(a));
+  const auto spaden = bench::run_with_progress(sim::l40(), kern::Method::Spaden, a, name);
+  const auto csr = bench::run_with_progress(sim::l40(), kern::Method::CusparseCsr, a, name);
+  table.add_row({name, order, strfmt("%zu", stats.num_blocks),
+                 fmt_double(stats.avg_block_nnz(), 1),
+                 strfmt("%.0f%%", 100.0 * stats.sparse_ratio()),
+                 fmt_double(spaden.gflops, 1),
+                 strfmt("%.2fx", spaden.gflops / csr.gflops)});
+}
+
+}  // namespace
+
+int main() {
+  const double scale = mat::bench_scale();
+  bench::print_banner("Ablation: reordering as bitBSR preprocessing", scale);
+
+  Table table({"Matrix", "ordering", "Bnnz", "avg nnz/block", "sparse blocks",
+               "Spaden GFLOPS", "Spaden/CSR"});
+  for (const char* name : {"scircuit", "webbase1M"}) {
+    const auto& info = mat::dataset_by_name(name);
+    const mat::Csr a = bench::load_with_progress(info, scale);
+    report(table, name, "original", a);
+    report(table, name, "RCM", mat::permute_symmetric(a, mat::reverse_cuthill_mckee(a)));
+    report(table, name, "degree", mat::permute_symmetric(a, mat::degree_order(a)));
+  }
+  {
+    const mat::Csr g = mat::Csr::from_coo(mat::rmat(14, 16.0, 77));
+    report(table, "rmat-14", "original", g);
+    report(table, "rmat-14", "RCM", mat::permute_symmetric(g, mat::reverse_cuthill_mckee(g)));
+    report(table, "rmat-14", "degree", mat::permute_symmetric(g, mat::degree_order(g)));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nReordering cannot manufacture density the graph does not have, but\n"
+      "on clustered structures it concentrates nonzeros into fewer blocks —\n"
+      "a cheap preprocessing lever to pull a matrix toward Spaden's\n"
+      "effective scope (nnz/block up, Bnnz down).\n"
+      "\nCaveat: the synthesized scircuit/webbase1M stand-ins are generated\n"
+      "with block locality already in place (DESIGN.md §2), so reordering\n"
+      "them can only destroy that artificial locality — the R-MAT row is the\n"
+      "meaningful one here. On real SuiteSparse inputs (via matrix/io.hpp)\n"
+      "the original orderings carry the community structure RCM exploits.\n");
+  return 0;
+}

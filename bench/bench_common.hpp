@@ -1,0 +1,43 @@
+// Shared plumbing for the figure benches: dataset iteration with progress
+// reporting, scale banner, and paper-value comparison rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "common/table.hpp"
+#include "matrix/dataset.hpp"
+
+namespace spaden::bench {
+
+inline void print_banner(const char* experiment, double scale) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf(
+      "matrices synthesized from Table 1 statistics at scale %.4g "
+      "(SPADEN_SCALE=1.0 for full size); GFLOPS are modeled on the simulated "
+      "device — see DESIGN.md\n\n",
+      scale);
+}
+
+/// Load a dataset with a progress line on stderr (generation of the larger
+/// matrices takes seconds).
+inline mat::Csr load_with_progress(const mat::DatasetInfo& info, double scale) {
+  std::fprintf(stderr, "[gen] %s @ %.4g...\n", info.name().c_str(), scale);
+  return mat::load_dataset(info, scale);
+}
+
+inline analysis::MethodRun run_with_progress(const sim::DeviceSpec& spec, kern::Method m,
+                                             const mat::Csr& a, const std::string& name) {
+  std::fprintf(stderr, "[run] %-14s %-12s on %s...\n",
+               std::string(kern::method_name(m)).c_str(), name.c_str(), spec.name.c_str());
+  return analysis::run_method(spec, m, a, name);
+}
+
+/// "1.63x (paper: 1.63x)" comparison cell.
+inline std::string vs_paper(double measured, double paper) {
+  return strfmt("%.2fx (paper %.2fx)", measured, paper);
+}
+
+}  // namespace spaden::bench

@@ -1,0 +1,68 @@
+// Figure 6: "Performance of different SpMV methods" — modeled GFLOPS of
+// cuSPARSE CSR, cuSPARSE BSR, LightSpMV, Gunrock, DASP and Spaden over all
+// 14 matrices on both L40 and V100. Also prints the §5.2 headline geomean
+// speedups of Spaden over each competitor on the 12 in-scope matrices.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace spaden;
+
+int main() {
+  const double scale = mat::bench_scale();
+  bench::print_banner("Figure 6: SpMV performance (modeled GFLOPS)", scale);
+
+  // Paper §5.2 geomean speedups of Spaden over each method, per device.
+  const std::map<std::string, std::map<kern::Method, double>> paper_speedups = {
+      {"L40",
+       {{kern::Method::CusparseCsr, 1.63},
+        {kern::Method::CusparseBsr, 3.37},
+        {kern::Method::LightSpmv, 2.68},
+        {kern::Method::Gunrock, 2.82},
+        {kern::Method::Dasp, 2.32}}},
+      {"V100",
+       {{kern::Method::CusparseCsr, 1.30},
+        {kern::Method::CusparseBsr, 2.21},
+        {kern::Method::LightSpmv, 1.86},
+        {kern::Method::Gunrock, 2.58},
+        {kern::Method::Dasp, 1.20}}},
+  };
+
+  for (const auto& spec : {sim::l40(), sim::v100()}) {
+    std::printf("--- %s ---\n", spec.name.c_str());
+    std::vector<std::string> headers{"Matrix"};
+    for (const kern::Method m : kern::figure6_methods()) {
+      headers.emplace_back(kern::method_name(m));
+    }
+    Table table(headers);
+
+    std::map<kern::Method, std::vector<double>> in_scope_gflops;
+    for (const auto& info : mat::datasets()) {
+      const mat::Csr a = bench::load_with_progress(info, scale);
+      std::vector<std::string> row{info.name()};
+      for (const kern::Method m : kern::figure6_methods()) {
+        const auto run = bench::run_with_progress(spec, m, a, info.name());
+        row.push_back(fmt_double(run.gflops, 1));
+        if (info.meets_criteria) {
+          in_scope_gflops[m].push_back(run.gflops);
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::printf("\nGeomean speedup of Spaden over (12 in-scope matrices):\n");
+    const auto& spaden = in_scope_gflops[kern::Method::Spaden];
+    for (const kern::Method m : kern::figure6_methods()) {
+      if (m == kern::Method::Spaden) {
+        continue;
+      }
+      const double s = analysis::geomean_speedup(spaden, in_scope_gflops[m]);
+      std::printf("  vs %-14s %s\n", std::string(kern::method_name(m)).c_str(),
+                  bench::vs_paper(s, paper_speedups.at(spec.name).at(m)).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9b: correlation between the sparse-block ratio and Spaden's
+// speedup over cuSPARSE BSR on L40 (§5.4). Matrices are sorted by sparse
+// ratio; the paper's anchor points are raefsky3 (BSR wins 1.2x), TSOPF (BSR
+// wins 1.5x), Si41Ge41H72 (Spaden 4.0x) and Ga41As41H72 (Spaden 4.2x).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "matrix/block_stats.hpp"
+
+using namespace spaden;
+
+int main() {
+  const double scale = mat::bench_scale();
+  bench::print_banner("Figure 9b: sparse-block ratio vs Spaden/BSR speedup (L40)", scale);
+
+  struct Row {
+    std::string name;
+    double sparse_ratio;
+    double speedup;
+  };
+  std::vector<Row> rows;
+  const sim::DeviceSpec spec = sim::l40();
+  for (const auto& info : mat::in_scope_datasets()) {
+    const mat::Csr a = bench::load_with_progress(info, scale);
+    const auto stats = mat::compute_block_stats(mat::BitBsr::from_csr(a));
+    const auto spaden = bench::run_with_progress(spec, kern::Method::Spaden, a, info.name());
+    const auto bsr =
+        bench::run_with_progress(spec, kern::Method::CusparseBsr, a, info.name());
+    rows.push_back({info.name(), stats.sparse_ratio(), spaden.gflops / bsr.gflops});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.sparse_ratio < b.sparse_ratio; });
+
+  Table table({"Matrix (sorted by sparse ratio)", "sparse ratio", "Spaden/BSR speedup"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, strfmt("%.1f%%", 100.0 * r.sparse_ratio),
+                   strfmt("%.2fx", r.speedup)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Monotonicity summary: Spearman-style check that speedup rises with the
+  // sparse ratio (the figure's message).
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].speedup < rows[i - 1].speedup) {
+      ++inversions;
+    }
+  }
+  std::printf(
+      "\nTrend: %zu/%zu adjacent inversions — the paper's finding is a rising\n"
+      "trend (\"the more sparse blocks in a matrix, the faster the Spaden\n"
+      "compared to cuSPARSE BSR\"), with BSR ahead only at the dense end\n"
+      "(raefsky3 1.2x, TSOPF 1.5x in the paper).\n",
+      inversions, rows.size() - 1);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 1: "Matrix Dataset Information" — nrow, nnz, Bnrow (block-grid
+// rows) and Bnnz (non-empty 8x8 blocks) for the 14 evaluation matrices,
+// before and after bitBSR conversion.
+//
+// At SPADEN_SCALE=1.0 the generated columns match the paper's published
+// values exactly (that is the synthesizer's contract); at reduced scale the
+// paper targets are shown alongside for comparison.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "matrix/bitbsr.hpp"
+
+using namespace spaden;
+
+int main() {
+  const double scale = mat::bench_scale();
+  bench::print_banner("Table 1: matrix dataset information", scale);
+
+  Table table({"Matrix", "nrow", "nnz", "Bnrow", "Bnnz", "paper nrow", "paper nnz",
+               "paper Bnrow", "paper Bnnz", "in scope"});
+  for (const auto& info : mat::datasets()) {
+    const mat::Csr a = bench::load_with_progress(info, scale);
+    const mat::BitBsr b = mat::BitBsr::from_csr(a);
+    table.add_row({
+        info.name(),
+        strfmt("%u", a.nrows),
+        strfmt("%zu", a.nnz()),
+        strfmt("%u", b.bnrow()),
+        strfmt("%zu", b.bnnz()),
+        strfmt("%u", info.profile.nrow),
+        strfmt("%zu", info.profile.nnz),
+        strfmt("%u", info.expected_bnrow()),
+        strfmt("%zu", info.profile.bnnz),
+        info.meets_criteria ? "yes" : "NO (nnz/nrow < 6)",
+    });
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nThe two bottom matrices do NOT meet the paper's selection criteria\n"
+      "(nrow > 10,000 and nnz/nrow > 32); they bound Spaden's effective scope.\n");
+  return 0;
+}

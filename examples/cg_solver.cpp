@@ -1,0 +1,57 @@
+// Conjugate-gradient solve of a banded SPD system using the solvers
+// library — the scientific-computing workload class the paper's
+// introduction cites (iterative solvers are also the tensor-core
+// application of [Haidar et al. 2018]).
+//
+// Every A*p product runs through the SpmvEngine on the simulated device;
+// the example reports numerical convergence and the accumulated modeled
+// device time per SpMV method.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "solvers/solvers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spaden;
+  const mat::Index n = argc > 1 ? static_cast<mat::Index>(std::atoi(argv[1])) : 20000;
+  const mat::Index bandwidth = 24;
+  std::printf("CG solve of a %u x %u banded SPD system (bandwidth %u)\n", n, n, bandwidth);
+
+  const mat::Csr a = mat::banded_spd(n, bandwidth, 0.7, 7);
+  std::printf("matrix: %zu nonzeros (%.1f per row)\n\n", a.nnz(), a.avg_degree());
+
+  // Manufactured solution -> right-hand side (fp64 for a clean target).
+  std::vector<float> x_true(n);
+  for (mat::Index i = 0; i < n; ++i) {
+    x_true[i] = std::sin(0.01f * static_cast<float>(i));
+  }
+  const std::vector<double> b64 = mat::spmv_reference(a, x_true);
+  std::vector<float> b(b64.begin(), b64.end());
+
+  for (const kern::Method method : {kern::Method::CusparseCsr, kern::Method::Spaden}) {
+    solve::SolveOptions options;
+    options.engine.method = method;
+    options.tolerance = 1e-4;
+    const solve::SolveResult result = solve::conjugate_gradient(a, b, options);
+
+    double max_err = 0;
+    for (mat::Index i = 0; i < n; ++i) {
+      max_err = std::max(max_err, std::abs(static_cast<double>(result.x[i]) - x_true[i]));
+    }
+    std::printf(
+        "[%s] %s in %d iterations, residual %.2e, max |x - x*| = %.2e,\n"
+        "  modeled device time %.2f ms\n\n",
+        std::string(kern::method_name(method)).c_str(),
+        result.converged ? "converged" : "NOT converged", result.iterations,
+        result.residual_norm, max_err, result.modeled_device_seconds * 1e3);
+  }
+  std::printf(
+      "Half-precision matrix storage (Spaden's bitBSR) solves the binary16-\n"
+      "rounded system: expect a ~1e-3 solution offset in exchange for the\n"
+      "footprint and bandwidth savings — the mixed-precision trade the paper\n"
+      "builds on. See also solve::bicgstab / solve::jacobi /\n"
+      "solve::power_method in src/solvers.\n");
+  return 0;
+}

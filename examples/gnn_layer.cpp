@@ -1,0 +1,126 @@
+// One graph-attention-style layer built from the §7 extension operations:
+//
+//   scores = SDDMM(adjacency pattern, H, H)   — per-edge attention logits
+//   alpha  = row-softmax(scores)              — normalized on the host
+//   H'     = SpMM(alpha-weighted adjacency, H * W)
+//
+// This is the DGL-style message-passing abstraction the paper's related
+// work highlights, run end to end on the simulated tensor cores with
+// bitBSR as the sparse carrier.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm.hpp"
+#include "matrix/matrix.hpp"
+
+namespace {
+
+using namespace spaden;
+
+/// Row-wise softmax over the CSR values.
+void row_softmax(mat::Csr& a) {
+  for (mat::Index r = 0; r < a.nrows; ++r) {
+    float max_v = -1e30f;
+    for (mat::Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      max_v = std::max(max_v, a.val[i]);
+    }
+    float sum = 0.0f;
+    for (mat::Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      a.val[i] = std::exp(a.val[i] - max_v);
+      sum += a.val[i];
+    }
+    for (mat::Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      a.val[i] /= std::max(sum, 1e-20f);
+    }
+  }
+}
+
+/// H * W on the host (a small dense GEMM is not the interesting part).
+mat::Dense dense_matmul(const mat::Dense& h, const mat::Dense& w) {
+  mat::Dense out(h.nrows, w.ncols);
+  for (mat::Index i = 0; i < h.nrows; ++i) {
+    for (mat::Index k = 0; k < h.ncols; ++k) {
+      const float hv = h.at(i, k);
+      for (mat::Index j = 0; j < w.ncols; ++j) {
+        out.at(i, j) += hv * w.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned graph_scale = 11;  // 2048 vertices
+  const mat::Index feat_dim = 32;
+  const mat::Index out_dim = 16;
+
+  // Graph: symmetrized R-MAT with self-loops (standard GNN preprocessing).
+  mat::Coo edges = mat::rmat(graph_scale, 8.0, 21);
+  {
+    const std::size_t m = edges.nnz();
+    for (std::size_t e = 0; e < m; ++e) {
+      edges.row.push_back(edges.col[e]);
+      edges.col.push_back(edges.row[e]);
+      edges.val.push_back(1.0f);
+    }
+    for (mat::Index v = 0; v < edges.nrows; ++v) {
+      edges.row.push_back(v);
+      edges.col.push_back(v);
+      edges.val.push_back(1.0f);
+    }
+  }
+  mat::Csr adj = mat::Csr::from_coo(edges);
+  std::printf("graph: %u vertices, %zu edges (incl. self-loops)\n", adj.nrows, adj.nnz());
+
+  const mat::Dense h = mat::random_dense(adj.nrows, feat_dim, 1);
+  const mat::Dense w = mat::random_dense(feat_dim, out_dim, 2);
+
+  sim::Device device(sim::l40());
+
+  // 1. Attention logits on every edge: scores[e] = <H[src], H[dst]>.
+  std::printf("\n[1] SDDMM: per-edge attention logits (depth %u)\n", feat_dim);
+  const kern::SddmmResult scores = kern::sddmm_spaden(device, adj, h, h);
+  std::printf("    %.1f modeled GFLOP/s, %llu MMAs, bound by %s\n",
+              scores.gflops(adj.nnz(), feat_dim),
+              static_cast<unsigned long long>(scores.launch.stats.tc_mma_m16n16k16),
+              scores.launch.time.bound_by());
+
+  // 2. Softmax-normalize per destination row (host).
+  mat::Csr alpha = adj;
+  alpha.val = scores.values;
+  row_softmax(alpha);
+
+  // 3. Aggregate transformed features: H' = alpha * (H W).
+  std::printf("[2] SpMM: neighbourhood aggregation (k = %u)\n", out_dim);
+  const mat::Dense hw = dense_matmul(h, w);
+  const kern::SpmmResult aggregated = kern::spmm_spaden(device, alpha, hw);
+  std::printf("    %.1f modeled GFLOP/s, bound by %s\n",
+              aggregated.gflops(alpha.nnz(), out_dim), aggregated.launch.time.bound_by());
+
+  // Verify the whole layer against fp64 references.
+  const auto scores_ref = mat::sddmm_reference(adj, h, h);
+  double max_score_err = 0;
+  for (std::size_t i = 0; i < scores_ref.size(); ++i) {
+    max_score_err = std::max(
+        max_score_err, std::abs(static_cast<double>(scores.values[i]) - scores_ref[i]));
+  }
+  const mat::Dense agg_ref = mat::spmm_reference(alpha, hw);
+  double max_agg_err = 0;
+  for (std::size_t i = 0; i < agg_ref.data.size(); ++i) {
+    max_agg_err = std::max(
+        max_agg_err, std::abs(static_cast<double>(aggregated.c.data[i]) - agg_ref.data[i]));
+  }
+  std::printf(
+      "\nverification: max SDDMM err %.2e, max SpMM err %.2e (binary16 inputs,\n"
+      "fp32 accumulate — the GNN-relevant precision regime)\n"
+      "output feature H'[0][0..3] = %.4f %.4f %.4f %.4f\n",
+      max_score_err, max_agg_err, static_cast<double>(aggregated.c.at(0, 0)),
+      static_cast<double>(aggregated.c.at(0, 1)), static_cast<double>(aggregated.c.at(0, 2)),
+      static_cast<double>(aggregated.c.at(0, 3)));
+  return 0;
+}

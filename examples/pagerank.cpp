@@ -1,0 +1,116 @@
+// PageRank on a power-law graph — the graph-analytics workload the paper's
+// introduction motivates ("graph algorithms (e.g., PageRank, BFS) are
+// oftentimes converted into linear algebraic formulations").
+//
+// The rank update r' = (1-d)/n + d * (P r + dangling mass / n) is driven by
+// repeated SpMV on the column-normalized adjacency matrix, executed on the
+// simulated device by a user-selected method. Compares Spaden against the
+// CSR baseline over the full iteration count.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/spaden.hpp"
+#include "matrix/matrix.hpp"
+
+namespace {
+
+using namespace spaden;
+
+/// Column-stochastic transition matrix of an R-MAT graph (P[i][j] =
+/// 1/outdeg(j) for each edge j -> i), plus the dangling-vertex indicator.
+mat::Csr build_transition(unsigned scale_log2, std::vector<bool>& dangling) {
+  mat::Csr g = mat::Csr::from_coo(mat::rmat(scale_log2, 12.0, 99));
+  std::vector<float> outdeg(g.ncols, 0.0f);
+  for (const mat::Index c : g.col_idx) {
+    outdeg[c] += 1.0f;
+  }
+  dangling.assign(g.ncols, false);
+  for (mat::Index v = 0; v < g.ncols; ++v) {
+    dangling[v] = outdeg[v] == 0.0f;
+  }
+  for (std::size_t i = 0; i < g.nnz(); ++i) {
+    g.val[i] = 1.0f / outdeg[g.col_idx[i]];
+  }
+  return g;
+}
+
+struct PageRankResult {
+  std::vector<float> rank;
+  int iterations;
+  double total_modeled_seconds;
+};
+
+PageRankResult pagerank(SpmvEngine& engine, const std::vector<bool>& dangling,
+                        float damping = 0.85f, float tol = 1e-7f) {
+  const auto n = static_cast<mat::Index>(dangling.size());
+  PageRankResult out;
+  out.rank.assign(n, 1.0f / static_cast<float>(n));
+  out.iterations = 0;
+  out.total_modeled_seconds = 0;
+  float delta = 1.0f;
+  std::vector<float> y;
+  while (delta > tol && out.iterations < 200) {
+    // Dangling mass is redistributed uniformly (standard PageRank fix-up).
+    float dangling_mass = 0.0f;
+    for (mat::Index v = 0; v < n; ++v) {
+      if (dangling[v]) {
+        dangling_mass += out.rank[v];
+      }
+    }
+    const SpmvResult r = engine.multiply(out.rank, y);
+    out.total_modeled_seconds += r.modeled_seconds;
+    delta = 0.0f;
+    const float base =
+        (1.0f - damping) / static_cast<float>(n) + damping * dangling_mass / static_cast<float>(n);
+    for (mat::Index v = 0; v < n; ++v) {
+      const float next = base + damping * y[v];
+      delta += std::abs(next - out.rank[v]);
+      out.rank[v] = next;
+    }
+    ++out.iterations;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned scale_log2 = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 13;
+  std::printf("PageRank on an R-MAT graph with 2^%u vertices\n", scale_log2);
+
+  std::vector<bool> dangling;
+  const mat::Csr p = build_transition(scale_log2, dangling);
+  std::printf("transition matrix: %u vertices, %zu edges (%.1f per row)\n\n", p.nrows,
+              p.nnz(), p.avg_degree());
+
+  for (const kern::Method method : {kern::Method::CusparseCsr, kern::Method::Spaden}) {
+    SpmvEngine engine(p, {.method = method});
+    const PageRankResult result = pagerank(engine, dangling);
+    // Top-5 ranked vertices.
+    std::vector<mat::Index> order(p.nrows);
+    for (mat::Index i = 0; i < p.nrows; ++i) {
+      order[i] = i;
+    }
+    std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                      [&](mat::Index a, mat::Index b) {
+                        return result.rank[a] > result.rank[b];
+                      });
+    std::printf("[%s] converged in %d iterations, %.2f ms modeled device time\n",
+                std::string(kern::method_name(method)).c_str(), result.iterations,
+                result.total_modeled_seconds * 1e3);
+    std::printf("  top vertices:");
+    for (int i = 0; i < 5; ++i) {
+      std::printf(" %u(%.2e)", order[static_cast<std::size_t>(i)],
+                  static_cast<double>(result.rank[order[static_cast<std::size_t>(i)]]));
+    }
+    std::printf("\n\n");
+  }
+  std::printf(
+      "Note: R-MAT graphs are low-degree relative to the paper's selection\n"
+      "criteria, so CSR may model faster here — exactly the §5.1 guidance\n"
+      "(and what SpmvEngine's Auto mode would pick).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Triangle counting in the language of linear algebra — the GraphBLAS-style
+// workload family of the paper's §6 (graphs as matrices), built on the
+// library's block-level SpGEMM: triangles = sum(A .* (A*A)) / 6 for an
+// undirected adjacency matrix A.
+#include <cstdio>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace {
+
+using namespace spaden;
+
+/// Undirected, loop-free adjacency from an R-MAT edge list.
+mat::Csr undirected_adjacency(unsigned scale_log2) {
+  mat::Coo edges = mat::rmat(scale_log2, 8.0, 99);
+  mat::Coo sym;
+  sym.nrows = edges.nrows;
+  sym.ncols = edges.ncols;
+  for (std::size_t e = 0; e < edges.nnz(); ++e) {
+    if (edges.row[e] == edges.col[e]) {
+      continue;  // drop self-loops
+    }
+    sym.row.push_back(edges.row[e]);
+    sym.col.push_back(edges.col[e]);
+    sym.val.push_back(1.0f);
+    sym.row.push_back(edges.col[e]);
+    sym.col.push_back(edges.row[e]);
+    sym.val.push_back(1.0f);
+  }
+  mat::Csr a = mat::Csr::from_coo(sym);
+  for (auto& v : a.val) {
+    v = 1.0f;  // duplicate edges collapse to weight 1
+  }
+  return a;
+}
+
+/// Exact reference count by wedge checking (O(sum deg^2)).
+std::uint64_t count_reference(const mat::Csr& a) {
+  std::uint64_t closed_wedges = 0;
+  for (mat::Index u = 0; u < a.nrows; ++u) {
+    for (mat::Index i = a.row_ptr[u]; i < a.row_ptr[u + 1]; ++i) {
+      const mat::Index v = a.col_idx[i];
+      // Count common neighbours of u and v by sorted-list intersection.
+      mat::Index pu = a.row_ptr[u];
+      mat::Index pv = a.row_ptr[v];
+      while (pu < a.row_ptr[u + 1] && pv < a.row_ptr[v + 1]) {
+        if (a.col_idx[pu] == a.col_idx[pv]) {
+          ++closed_wedges;
+          ++pu;
+          ++pv;
+        } else if (a.col_idx[pu] < a.col_idx[pv]) {
+          ++pu;
+        } else {
+          ++pv;
+        }
+      }
+    }
+  }
+  return closed_wedges / 6;  // each triangle closes 6 directed wedges
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 10;
+  const mat::Csr a = undirected_adjacency(scale);
+  std::printf("graph: %u vertices, %zu directed edges\n", a.nrows, a.nnz());
+
+  // Linear-algebra formulation: count = sum over edges (u,v) of (A*A)[u][v],
+  // i.e. the A-masked A^2, divided by 6.
+  const mat::BitBsr ab = mat::BitBsr::from_csr(a);
+  const mat::Csr a2 = mat::spgemm_bitbsr(ab, ab).to_csr();
+
+  double masked_sum = 0;
+  for (mat::Index u = 0; u < a.nrows; ++u) {
+    mat::Index p2 = a2.row_ptr[u];
+    for (mat::Index i = a.row_ptr[u]; i < a.row_ptr[u + 1]; ++i) {
+      const mat::Index v = a.col_idx[i];
+      while (p2 < a2.row_ptr[u + 1] && a2.col_idx[p2] < v) {
+        ++p2;
+      }
+      if (p2 < a2.row_ptr[u + 1] && a2.col_idx[p2] == v) {
+        masked_sum += a2.val[p2];
+      }
+    }
+  }
+  const auto triangles = static_cast<std::uint64_t>(masked_sum / 6.0 + 0.5);
+  const std::uint64_t reference = count_reference(a);
+
+  std::printf("triangles via bitBSR SpGEMM + mask: %llu\n",
+              static_cast<unsigned long long>(triangles));
+  std::printf("triangles via wedge reference:      %llu\n",
+              static_cast<unsigned long long>(reference));
+  std::printf(triangles == reference ? "counts agree.\n"
+                                     : "MISMATCH — please file a bug!\n");
+  return triangles == reference ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Bit-manipulation helpers used by the bitBSR format and its decoder.
+//
+// bitBSR encodes an 8x8 block as one 64-bit bitmap where bit (r*8 + c) is set
+// iff element (r, c) is nonzero; the LSB is the top-left element and the MSB
+// the bottom-right (paper Fig. 4). The decoder locates a nonzero's position
+// in the packed value array with a prefix popcount over the bitmap.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace spaden {
+
+/// Number of set bits strictly below `pos` in `bitmap` — the rank of the
+/// element at `pos` inside the packed nonzero-value array of its block.
+[[nodiscard]] constexpr int prefix_popcount(std::uint64_t bitmap, unsigned pos) {
+  const std::uint64_t below = pos == 0 ? 0u : (bitmap & ((std::uint64_t{1} << pos) - 1u));
+  return std::popcount(below);
+}
+
+/// Whether bit `pos` (0..63) of `bitmap` is set.
+[[nodiscard]] constexpr bool test_bit(std::uint64_t bitmap, unsigned pos) {
+  return ((bitmap >> pos) & 1u) != 0;
+}
+
+/// Set bit `pos` (0..63) of `bitmap`.
+constexpr void set_bit(std::uint64_t& bitmap, unsigned pos) { bitmap |= std::uint64_t{1} << pos; }
+
+/// Linear bit index of element (row, col) in a `dim` x `dim` block, row-major
+/// with the LSB at the top-left (paper Fig. 4).
+[[nodiscard]] constexpr unsigned block_bit_index(unsigned row, unsigned col, unsigned dim = 8) {
+  return row * dim + col;
+}
+
+/// Integer ceiling division for extents and block-grid sizing.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b`.
+template <typename T>
+[[nodiscard]] constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace spaden

@@ -1,0 +1,35 @@
+#include "common/error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace spaden {
+
+std::string strfmt(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {"<format error>"};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+namespace detail {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file, int line,
+                         const std::string& message) {
+  throw Error(strfmt("spaden %s failed: (%s) at %s:%d — %s", kind, expr, file, line,
+                     message.c_str()));
+}
+
+}  // namespace detail
+}  // namespace spaden

@@ -1,0 +1,46 @@
+// Diagnostics: structured error type and check macros used across the library.
+//
+// Two classes of checks exist:
+//  * SPADEN_REQUIRE  — precondition on public API inputs; always active and
+//                      throws spaden::Error so callers can recover.
+//  * SPADEN_ASSERT   — internal invariant; active in all builds (the library
+//                      is a simulator whose value is correctness), aborts via
+//                      Error as well but marks the message as internal.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spaden {
+
+/// Exception type thrown on precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr, const char* file,
+                                      int line, const std::string& message);
+}  // namespace detail
+
+/// Small printf-style formatter (gcc 12 lacks std::format).
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace spaden
+
+#define SPADEN_REQUIRE(expr, ...)                                                       \
+  do {                                                                                  \
+    if (!(expr)) {                                                                      \
+      ::spaden::detail::throw_check_failure("precondition", #expr, __FILE__, __LINE__,  \
+                                            ::spaden::strfmt(__VA_ARGS__));             \
+    }                                                                                   \
+  } while (false)
+
+#define SPADEN_ASSERT(expr, ...)                                                        \
+  do {                                                                                  \
+    if (!(expr)) {                                                                      \
+      ::spaden::detail::throw_check_failure("invariant", #expr, __FILE__, __LINE__,     \
+                                            ::spaden::strfmt(__VA_ARGS__));             \
+    }                                                                                   \
+  } while (false)

@@ -1,0 +1,9 @@
+#include "common/half.hpp"
+
+#include <ostream>
+
+namespace spaden {
+
+std::ostream& operator<<(std::ostream& os, half h) { return os << h.to_float(); }
+
+}  // namespace spaden

@@ -1,0 +1,184 @@
+// IEEE 754 binary16 ("half") implemented in software.
+//
+// Spaden stores matrix values in half precision because tensor-core MMA
+// (m16n16k16) consumes half inputs and produces float outputs; reproducing
+// that mixed precision is part of reproducing the paper's numerics
+// (paper §2.2, §5.1: "inputs in 16-bit half floating-point format and
+// outputs in 32-bit floating-point format").
+//
+// Conversions implement round-to-nearest-even, subnormals, infinities and
+// NaN propagation. Arithmetic is performed by converting to float, which is
+// exactly what half-precision ALUs produce for single operations (binary16
+// has fewer significand bits than binary32, so float arithmetic followed by
+// rounding back is correctly-rounded binary16 arithmetic).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+
+namespace spaden {
+
+class half {
+ public:
+  constexpr half() = default;
+  explicit half(float value) : bits_(from_float(value)) {}
+
+  /// Reinterpret raw binary16 bits.
+  static constexpr half from_bits(std::uint16_t bits) {
+    half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+  [[nodiscard]] float to_float() const { return to_float_impl(bits_); }
+  explicit operator float() const { return to_float(); }
+
+  [[nodiscard]] constexpr bool is_nan() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  [[nodiscard]] constexpr bool is_inf() const { return (bits_ & 0x7FFFu) == 0x7C00u; }
+  [[nodiscard]] constexpr bool is_zero() const { return (bits_ & 0x7FFFu) == 0; }
+  [[nodiscard]] constexpr bool signbit() const { return (bits_ & 0x8000u) != 0; }
+
+  friend half operator+(half a, half b) { return half(a.to_float() + b.to_float()); }
+  friend half operator-(half a, half b) { return half(a.to_float() - b.to_float()); }
+  friend half operator*(half a, half b) { return half(a.to_float() * b.to_float()); }
+  friend half operator/(half a, half b) { return half(a.to_float() / b.to_float()); }
+  friend half operator-(half a) { return from_bits(static_cast<std::uint16_t>(a.bits_ ^ 0x8000u)); }
+
+  half& operator+=(half o) { return *this = *this + o; }
+  half& operator-=(half o) { return *this = *this - o; }
+  half& operator*=(half o) { return *this = *this * o; }
+  half& operator/=(half o) { return *this = *this / o; }
+
+  // NaN-aware comparisons (IEEE semantics: NaN compares false, -0 == +0).
+  friend bool operator==(half a, half b) { return a.to_float() == b.to_float(); }
+  friend bool operator!=(half a, half b) { return a.to_float() != b.to_float(); }
+  friend bool operator<(half a, half b) { return a.to_float() < b.to_float(); }
+  friend bool operator<=(half a, half b) { return a.to_float() <= b.to_float(); }
+  friend bool operator>(half a, half b) { return a.to_float() > b.to_float(); }
+  friend bool operator>=(half a, half b) { return a.to_float() >= b.to_float(); }
+
+  // Conversions are defined inline below: they sit on the hot path of every
+  // format conversion and host SpMV, where call overhead would dominate.
+  static std::uint16_t from_float(float value);
+  static float to_float_impl(std::uint16_t bits);
+
+  /// Largest finite binary16 value (65504).
+  static constexpr half max() { return from_bits(0x7BFFu); }
+  /// Smallest positive normal binary16 value (2^-14).
+  static constexpr half min_normal() { return from_bits(0x0400u); }
+  /// Machine epsilon for binary16 (2^-10).
+  static constexpr half epsilon() { return from_bits(0x1400u); }
+  static constexpr half infinity() { return from_bits(0x7C00u); }
+  static constexpr half quiet_nan() { return from_bits(0x7E00u); }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+
+namespace detail {
+inline constexpr std::uint32_t kF32SignMask = 0x8000'0000u;
+inline constexpr int kF32ExpBias = 127;
+inline constexpr int kF16ExpBias = 15;
+}  // namespace detail
+
+inline std::uint16_t half::from_float(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint16_t sign = static_cast<std::uint16_t>((f & detail::kF32SignMask) >> 16);
+  const std::uint32_t abs = f & 0x7FFF'FFFFu;
+
+  // NaN / infinity.
+  if (abs >= 0x7F80'0000u) {
+    if (abs > 0x7F80'0000u) {
+      // Preserve a quiet NaN with the top mantissa bit set plus whatever
+      // payload survives truncation, never collapsing to infinity.
+      const std::uint16_t payload = static_cast<std::uint16_t>((abs >> 13) & 0x03FFu);
+      return static_cast<std::uint16_t>(sign | 0x7C00u | 0x0200u | payload);
+    }
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  const int exp32 = static_cast<int>(abs >> 23);
+  const std::uint32_t mant32 = abs & 0x007F'FFFFu;
+  int exp16 = exp32 - detail::kF32ExpBias + detail::kF16ExpBias;
+
+  if (exp16 >= 0x1F) {
+    // Overflow: round-to-nearest-even maps all values >= 65520 to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (exp16 <= 0) {
+    // Subnormal (or underflow to zero). The implicit leading 1 becomes
+    // explicit and the mantissa is shifted right by (1 - exp16) extra bits.
+    if (exp16 < -10) {
+      return sign;  // Magnitude below half the smallest subnormal: round to 0.
+    }
+    const std::uint32_t full = mant32 | 0x0080'0000u;  // 24-bit significand.
+    const int shift = 14 - exp16;                      // 14..24
+    const std::uint32_t kept = full >> shift;
+    const std::uint32_t round_bit = (full >> (shift - 1)) & 1u;
+    const std::uint32_t sticky = (full & ((1u << (shift - 1)) - 1u)) != 0 ? 1u : 0u;
+    std::uint32_t result = kept;
+    if (round_bit && (sticky || (kept & 1u))) {
+      ++result;  // May carry into the normal range (0x0400), which is correct.
+    }
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normal number: keep 10 mantissa bits, round-to-nearest-even on the rest.
+  std::uint32_t mant16 = mant32 >> 13;
+  const std::uint32_t round_bit = (mant32 >> 12) & 1u;
+  const std::uint32_t sticky = (mant32 & 0x0FFFu) != 0 ? 1u : 0u;
+  if (round_bit && (sticky || (mant16 & 1u))) {
+    ++mant16;
+    if (mant16 == 0x0400u) {  // Mantissa overflow carries into the exponent.
+      mant16 = 0;
+      ++exp16;
+      if (exp16 >= 0x1F) {
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+      }
+    }
+  }
+  return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp16) << 10) | mant16);
+}
+
+inline float half::to_float_impl(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  std::uint32_t mant = bits & 0x03FFu;
+
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // Signed zero.
+    } else {
+      // Subnormal: normalize by shifting the mantissa up until the implicit
+      // bit appears, adjusting the exponent accordingly.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x0400u) == 0);
+      const std::uint32_t exp32 =
+          static_cast<std::uint32_t>(detail::kF32ExpBias - detail::kF16ExpBias - e) << 23;
+      f = sign | exp32 | ((m & 0x03FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    f = sign | 0x7F80'0000u | (mant << 13);  // Inf / NaN (payload preserved).
+  } else {
+    const std::uint32_t exp32 = (exp + detail::kF32ExpBias - detail::kF16ExpBias) << 23;
+    f = sign | exp32 | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+std::ostream& operator<<(std::ostream& os, half h);
+
+static_assert(sizeof(half) == 2, "half must be exactly 16 bits wide");
+
+}  // namespace spaden

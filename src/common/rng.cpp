@@ -1,0 +1,103 @@
+#include "common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace spaden {
+
+namespace {
+
+// splitmix64: seeds the xoshiro state so that nearby seeds give unrelated
+// streams.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  SPADEN_REQUIRE(bound > 0, "bound must be positive");
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::next_float(float lo, float hi) {
+  SPADEN_REQUIRE(lo < hi, "empty range [%g, %g)", static_cast<double>(lo),
+                 static_cast<double>(hi));
+  return lo + static_cast<float>(next_double()) * (hi - lo);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::vector<std::uint32_t> Rng::sample_distinct(std::uint32_t n, std::uint32_t k) {
+  SPADEN_REQUIRE(k <= n, "cannot sample %u distinct values from [0, %u)", k, n);
+  // Floyd's algorithm: O(k) expected insertions regardless of n.
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(next_below(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::uint32_t Rng::next_pareto(double alpha, double xm, std::uint32_t cap) {
+  SPADEN_REQUIRE(alpha > 0 && xm > 0 && cap > 0, "invalid pareto parameters");
+  const double u = 1.0 - next_double();  // (0, 1]
+  const double value = xm / std::pow(u, 1.0 / alpha);
+  if (value >= static_cast<double>(cap)) {
+    return cap;
+  }
+  const auto v = static_cast<std::uint32_t>(value);
+  return v == 0 ? 1u : v;
+}
+
+}  // namespace spaden

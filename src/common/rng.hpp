@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for matrix synthesis.
+//
+// xoshiro256** (Blackman & Vigna) — fast, high quality, and fully
+// reproducible across platforms, which matters because the dataset registry
+// must synthesize identical matrices on every run so benchmark results are
+// comparable between sessions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spaden {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi);
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// k distinct values sampled uniformly from [0, n) (Floyd's algorithm),
+  /// returned unsorted.
+  std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t k);
+
+  /// Geometric-ish row-length sampler used by power-law generators: returns
+  /// floor(pareto(alpha, xm)) clamped to [1, cap].
+  std::uint32_t next_pareto(double alpha, double xm, std::uint32_t cap);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace spaden

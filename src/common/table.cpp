@@ -1,0 +1,153 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace spaden {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit_seen = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '+' && c != '-' && c != 'x' &&
+               c != '%' && c != 'K' && c != 'M' && c != 'G' && c != 'T' && c != 'B' &&
+               c != 's' && c != 'n' && c != 'u' && c != 'm' && c != ' ' && c != 'i') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SPADEN_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SPADEN_REQUIRE(cells.size() == headers_.size(), "row arity %zu != header arity %zu",
+                 cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| ";
+      const auto pad = widths[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << '|' << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  return strfmt("%.*f", precision, v);
+}
+
+std::string fmt_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  if (v >= 1e12) {
+    scaled = v / 1e12;
+    suffix = "T";
+  } else if (v >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  }
+  return strfmt("%.*f%s", precision, scaled, suffix);
+}
+
+std::string fmt_bytes(double bytes, int precision) {
+  const char* suffix = "B";
+  double scaled = bytes;
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    scaled = bytes / (1024.0 * 1024.0 * 1024.0);
+    suffix = "GiB";
+  } else if (bytes >= 1024.0 * 1024.0) {
+    scaled = bytes / (1024.0 * 1024.0);
+    suffix = "MiB";
+  } else if (bytes >= 1024.0) {
+    scaled = bytes / 1024.0;
+    suffix = "KiB";
+  }
+  return strfmt("%.*f %s", precision, scaled, suffix);
+}
+
+}  // namespace spaden

@@ -1,0 +1,37 @@
+// Fixed-width console tables and CSV emission for the benchmark harness.
+// Every bench binary prints the same rows/series the paper's table or figure
+// reports, so output must be regular enough to diff between runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spaden {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content, right-aligning numeric
+  /// cells.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used when filling tables.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_si(double v, int precision = 2);     // 1.23K / 4.56M / 7.89G
+std::string fmt_bytes(double bytes, int precision = 2);
+
+}  // namespace spaden

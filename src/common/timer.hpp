@@ -1,0 +1,41 @@
+// Wall-clock timing for host-side work (format conversion, preprocessing).
+// Device kernel times come from the gpusim performance model, not from here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spaden {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double nanos() const { return seconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Run `fn` repeatedly until at least `min_seconds` elapsed (at least once),
+/// returning the mean seconds per call. Used by the conversion-overhead bench
+/// (paper Fig. 10a) where a single conversion can be microseconds.
+template <typename Fn>
+double time_mean_seconds(Fn&& fn, double min_seconds = 0.05) {
+  Timer total;
+  std::uint64_t calls = 0;
+  do {
+    fn();
+    ++calls;
+  } while (total.seconds() < min_seconds);
+  return total.seconds() / static_cast<double>(calls);
+}
+
+}  // namespace spaden

@@ -1,0 +1,76 @@
+#include "core/spaden.hpp"
+
+#include "common/error.hpp"
+
+namespace spaden {
+
+struct SpmvEngine::Impl {
+  mat::Csr matrix;  // kept for first-run verification
+  EngineOptions options;
+  kern::Method method;
+  sim::Device device;
+  std::unique_ptr<kern::SpmvKernel> kernel;
+  PrepInfo prep;
+  bool verified = false;
+
+  Impl(const mat::Csr& a, EngineOptions opts)
+      : matrix(a),
+        options(std::move(opts)),
+        method(options.method.value_or(auto_select(a))),
+        device(options.device),
+        kernel(kern::make_kernel(method)) {
+    kernel->prepare(device, matrix);
+    prep.seconds = kernel->prep_seconds();
+    prep.ns_per_nnz = matrix.nnz() == 0
+                          ? 0.0
+                          : prep.seconds * 1e9 / static_cast<double>(matrix.nnz());
+    prep.footprint = kernel->footprint();
+    prep.bytes_per_nnz = prep.footprint.bytes_per_nnz(matrix.nnz());
+  }
+};
+
+SpmvEngine::SpmvEngine(const mat::Csr& a, EngineOptions options)
+    : impl_(std::make_unique<Impl>(a, std::move(options))) {}
+
+SpmvEngine::~SpmvEngine() = default;
+SpmvEngine::SpmvEngine(SpmvEngine&&) noexcept = default;
+SpmvEngine& SpmvEngine::operator=(SpmvEngine&&) noexcept = default;
+
+kern::Method SpmvEngine::auto_select(const mat::Csr& a) {
+  // Paper §5.1: "We suggest considering our approach for matrices with
+  // nrow > 10,000 and nnz/nrow > 32."
+  if (a.nrows > 10'000 && a.avg_degree() > 32.0) {
+    return kern::Method::Spaden;
+  }
+  return kern::Method::CusparseCsr;
+}
+
+SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>& y) {
+  SPADEN_REQUIRE(x.size() == impl_->matrix.ncols, "x size %zu != ncols %u", x.size(),
+                 impl_->matrix.ncols);
+  if (impl_->options.verify_first_run && !impl_->verified) {
+    (void)kern::verify_kernel(*impl_->kernel, impl_->device, impl_->matrix);
+    impl_->verified = true;
+  }
+  auto x_buf = impl_->device.memory().upload(x);
+  auto y_buf = impl_->device.memory().alloc<float>(impl_->matrix.nrows);
+  const sim::LaunchResult launch =
+      impl_->kernel->run(impl_->device, x_buf.cspan(), y_buf.span());
+  y = y_buf.host();
+
+  SpmvResult result;
+  result.modeled_seconds = launch.seconds();
+  result.gflops = launch.gflops(impl_->matrix.nnz());
+  result.stats = launch.stats;
+  result.time = launch.time;
+  return result;
+}
+
+kern::Method SpmvEngine::chosen_method() const { return impl_->method; }
+const PrepInfo& SpmvEngine::prep() const { return impl_->prep; }
+const sim::DeviceSpec& SpmvEngine::device() const { return impl_->device.spec(); }
+mat::Index SpmvEngine::nrows() const { return impl_->matrix.nrows; }
+mat::Index SpmvEngine::ncols() const { return impl_->matrix.ncols; }
+std::size_t SpmvEngine::nnz() const { return impl_->matrix.nnz(); }
+
+}  // namespace spaden

@@ -1,0 +1,80 @@
+// Public API of the Spaden library.
+//
+// Quickstart:
+//
+//   spaden::mat::Csr a = spaden::mat::read_matrix_market_file("m.mtx");
+//   spaden::SpmvEngine engine(a);                    // auto-selects method
+//   std::vector<float> x(a.ncols, 1.0f), y;
+//   const auto result = engine.multiply(x, y);       // y = A*x
+//   std::cout << result.gflops << " modeled GFLOP/s\n";
+//
+// The engine owns a simulated device (L40 by default), converts the matrix
+// into the chosen method's format, verifies the kernel against a
+// double-precision host reference on first use, and reports modeled
+// performance with the full counter breakdown.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "kernels/kernel.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden {
+
+/// Method selection: a concrete kernel, or Auto to apply the paper's §5.1
+/// guidance (use Spaden when nrow > 10,000 and nnz/nrow > 32, otherwise
+/// fall back to the CSR baseline).
+struct EngineOptions {
+  std::optional<kern::Method> method;   ///< nullopt = Auto
+  sim::DeviceSpec device = sim::l40();
+  bool verify_first_run = true;         ///< check against fp64 reference once
+};
+
+/// Result of one multiply.
+struct SpmvResult {
+  double modeled_seconds = 0;
+  double gflops = 0;
+  sim::KernelStats stats;
+  sim::TimeBreakdown time;
+};
+
+/// Preprocessing record (paper Fig. 10).
+struct PrepInfo {
+  double seconds = 0;
+  double ns_per_nnz = 0;
+  kern::Footprint footprint;
+  double bytes_per_nnz = 0;
+};
+
+class SpmvEngine {
+ public:
+  /// Converts `a` to the chosen format immediately (preprocessing happens
+  /// here, once — "the conversion is performed only once", §5.5).
+  explicit SpmvEngine(const mat::Csr& a, EngineOptions options = {});
+  ~SpmvEngine();
+  SpmvEngine(SpmvEngine&&) noexcept;
+  SpmvEngine& operator=(SpmvEngine&&) noexcept;
+
+  /// y = A*x. Resizes y to nrows.
+  SpmvResult multiply(const std::vector<float>& x, std::vector<float>& y);
+
+  [[nodiscard]] kern::Method chosen_method() const;
+  [[nodiscard]] const PrepInfo& prep() const;
+  [[nodiscard]] const sim::DeviceSpec& device() const;
+  [[nodiscard]] mat::Index nrows() const;
+  [[nodiscard]] mat::Index ncols() const;
+  [[nodiscard]] std::size_t nnz() const;
+
+  /// The paper's method-selection heuristic (§5.1).
+  static kern::Method auto_select(const mat::Csr& a);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace spaden

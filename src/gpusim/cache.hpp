@@ -1,0 +1,48 @@
+// Set-associative sector cache modeling the GPU L2.
+//
+// The L2 is shared by all SMs and is the unit at which DRAM traffic is
+// decided: a sector access that hits stays on-chip; a miss costs one DRAM
+// sector transfer. Capacity is the architectural differentiator between the
+// two evaluated devices (L40: 96 MB, V100: 6 MB) and is what lets small
+// dense-block matrices become compute-bound on L40 (paper §5.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spaden::sim {
+
+class SectorCache {
+ public:
+  /// `capacity_bytes` is rounded down to a power-of-two set count.
+  SectorCache(std::uint64_t capacity_bytes, int ways, std::uint32_t sector_bytes = 32);
+
+  /// Probe one sector-aligned address; inserts on miss. Returns true on hit.
+  bool access(std::uint64_t sector_addr);
+
+  /// Drop all cached state (used between unrelated experiments).
+  void flush();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint32_t sector_bytes() const { return sector_bytes_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(num_sets_) * static_cast<std::uint64_t>(ways_) *
+           sector_bytes_;
+  }
+
+ private:
+  static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
+  std::uint32_t sector_bytes_;
+  int ways_;
+  std::uint64_t num_sets_;
+  std::uint64_t set_mask_;
+  std::vector<std::uint64_t> tags_;    ///< num_sets * ways
+  std::vector<std::uint64_t> stamps_;  ///< LRU timestamps, same shape
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace spaden::sim

@@ -1,0 +1,125 @@
+#include "gpusim/controller.hpp"
+
+#include <algorithm>
+
+namespace spaden::sim {
+
+namespace {
+
+/// Collect the sector ids covered by [addr, addr+size) into `out`.
+/// A lane access never spans more than two sectors for the element sizes the
+/// library uses (<= 32 bytes), but the loop is general.
+template <typename Out>
+void append_sectors(std::uint64_t addr, std::uint32_t size, std::uint32_t sector_bytes,
+                    Out& out) {
+  const std::uint64_t first = addr / sector_bytes;
+  const std::uint64_t last = (addr + size - 1) / sector_bytes;
+  for (std::uint64_t s = first; s <= last; ++s) {
+    out.push_back(s);
+  }
+}
+
+struct SmallSectorList {
+  std::array<std::uint64_t, 3 * MemoryController::kWarpSize> data;
+  std::size_t count = 0;
+  void push_back(std::uint64_t v) { data[count++] = v; }
+};
+
+}  // namespace
+
+void MemoryController::touch_sector(std::uint64_t sector_addr, bool is_store) {
+  // Every unique sector of a warp instruction is one LSU wavefront (replay).
+  ++stats_->wavefronts;
+  const std::uint64_t byte_addr = sector_addr * l2_->sector_bytes();
+  if (l1_->access(byte_addr)) {
+    stats_->l1_hit_bytes += l2_->sector_bytes();
+    return;
+  }
+  ++stats_->sectors;
+  const bool hit = l2_->access(byte_addr);
+  if (hit) {
+    stats_->l2_hit_bytes += l2_->sector_bytes();
+  } else {
+    // A load miss fetches the sector from DRAM; a store miss eventually
+    // writes it back. Either way one sector crosses the DRAM interface.
+    stats_->dram_bytes += l2_->sector_bytes();
+  }
+  (void)is_store;
+}
+
+void MemoryController::access(const std::array<std::uint64_t, kWarpSize>& addrs,
+                              const std::array<std::uint32_t, kWarpSize>& sizes,
+                              std::uint32_t mask, bool is_store) {
+  if (mask == 0) {
+    return;
+  }
+  ++stats_->mem_instructions;
+
+  SmallSectorList sectors;
+  const std::uint32_t sector_bytes = l2_->sector_bytes();
+  int active = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((mask >> lane) & 1u) {
+      ++active;
+      append_sectors(addrs[static_cast<std::size_t>(lane)],
+                     sizes[static_cast<std::size_t>(lane)], sector_bytes, sectors);
+    }
+  }
+  if (is_store) {
+    stats_->lane_stores += static_cast<std::uint64_t>(active);
+  } else {
+    stats_->lane_loads += static_cast<std::uint64_t>(active);
+  }
+
+  // Coalesce: one probe per unique sector touched by the instruction.
+  std::sort(sectors.data.begin(), sectors.data.begin() + sectors.count);
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < sectors.count; ++i) {
+    if (sectors.data[i] != prev) {
+      prev = sectors.data[i];
+      touch_sector(prev, is_store);
+    }
+  }
+}
+
+void MemoryController::access_range(std::uint64_t addr, std::uint64_t bytes, bool is_store) {
+  if (bytes == 0) {
+    return;
+  }
+  ++stats_->mem_instructions;
+  const std::uint32_t sector_bytes = l2_->sector_bytes();
+  const std::uint64_t first = addr / sector_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / sector_bytes;
+  for (std::uint64_t s = first; s <= last; ++s) {
+    touch_sector(s, is_store);
+  }
+  if (is_store) {
+    ++stats_->lane_stores;
+  } else {
+    ++stats_->lane_loads;
+  }
+}
+
+void MemoryController::access_atomic(const std::array<std::uint64_t, kWarpSize>& addrs,
+                                     const std::array<std::uint32_t, kWarpSize>& sizes,
+                                     std::uint32_t mask) {
+  if (mask == 0) {
+    return;
+  }
+  ++stats_->mem_instructions;
+  const std::uint32_t sector_bytes = l2_->sector_bytes();
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((mask >> lane) & 1u) {
+      ++stats_->atomic_lane_ops;
+      ++stats_->lane_stores;
+      // Intentionally unmerged: atomics to the same sector serialize at the
+      // L2 atomic unit, so every active lane pays a sector access.
+      const std::uint64_t sector =
+          addrs[static_cast<std::size_t>(lane)] / sector_bytes;
+      (void)sizes;
+      touch_sector(sector, /*is_store=*/true);
+    }
+  }
+}
+
+}  // namespace spaden::sim

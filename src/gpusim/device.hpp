@@ -1,0 +1,84 @@
+// The simulated GPU: memory, L2, counters and kernel launching.
+//
+// A kernel is any callable `void(WarpCtx&, std::uint64_t warp_id)`; the
+// launcher runs it for every warp in the grid. Warps execute sequentially on
+// the host but the model is warp-synchronous, so any kernel that would be
+// correct under CUDA's weak inter-warp ordering (our kernels only
+// communicate across warps through atomics) computes the same result.
+//
+// Fidelity note (documented limitation): warps run in grid order rather
+// than the hardware's interleaved schedule, which gives the L2 model mildly
+// optimistic temporal locality. This affects all methods equally and does
+// not change the traffic *ratios* the evaluation depends on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/controller.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/stats.hpp"
+#include "gpusim/warp.hpp"
+
+namespace spaden::sim {
+
+/// Result of one kernel launch: measured counters + modeled time.
+struct LaunchResult {
+  std::string kernel_name;
+  KernelStats stats;
+  TimeBreakdown time;
+
+  [[nodiscard]] double seconds() const { return time.total; }
+  /// SpMV throughput metric used throughout the paper's figures.
+  [[nodiscard]] double gflops(std::uint64_t nnz) const {
+    return 2.0 * static_cast<double>(nnz) / time.total / 1e9;
+  }
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec)
+      : spec_(std::move(spec)),
+        l1_(spec_.l1_capacity_bytes, spec_.l1_ways, spec_.sector_bytes),
+        l2_(spec_.l2_capacity_bytes, spec_.l2_ways, spec_.sector_bytes),
+        controller_(&l1_, &l2_, &scratch_stats_) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] DeviceMemory& memory() { return memory_; }
+
+  /// Drop cache contents (cold-cache experiments).
+  void flush_caches() {
+    l1_.flush();
+    l2_.flush();
+  }
+
+  /// Run `kernel(ctx, warp_id)` for warp_id in [0, num_warps).
+  template <typename Kernel>
+  LaunchResult launch(std::string_view name, std::uint64_t num_warps, Kernel&& kernel) {
+    LaunchResult result;
+    result.kernel_name = std::string(name);
+    result.stats.warps_launched = num_warps;
+    controller_.set_stats(&result.stats);
+    WarpCtx ctx(&controller_, &result.stats);
+    for (std::uint64_t w = 0; w < num_warps; ++w) {
+      kernel(ctx, w);
+    }
+    controller_.set_stats(&scratch_stats_);
+    result.time = estimate_time(spec_, result.stats);
+    return result;
+  }
+
+ private:
+  DeviceSpec spec_;
+  DeviceMemory memory_;
+  SectorCache l1_;
+  SectorCache l2_;
+  KernelStats scratch_stats_;  // sink when no launch is active
+  MemoryController controller_;
+};
+
+}  // namespace spaden::sim

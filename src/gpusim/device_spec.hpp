@@ -1,0 +1,100 @@
+// Device parameter sets and the analytical timing model.
+//
+// The paper evaluates on NVIDIA L40 (568 4th-gen tensor cores) and V100
+// (640 1st-gen tensor cores). We model each device with published
+// architectural parameters; the timing estimator is a roofline over the
+// counters gathered during functional simulation:
+//
+//   T = T_launch + max(T_dram, T_l2, T_cuda, T_tc) / occupancy
+//
+//   T_dram = dram_bytes / dram_bandwidth          (L2 misses)
+//   T_l2   = sectors * 32 B / l2_bandwidth        (all sector traffic)
+//   T_cuda = weighted lane-ops / cuda_op_rate
+//   T_tc   = MMA FLOPs / (tc_peak * shape_efficiency)
+//
+// Two parameters deserve comment:
+//  * mma_m8n8k4_efficiency — DASP's key instruction is optimized for Volta;
+//    the paper (§5.2, citing the PTX ISA) notes it "may suffer from
+//    substantially reduced performance on other architectures". We set 1.0
+//    on V100 and a strong penalty on L40.
+//  * l2_bandwidth — the LSU/L2 sector-throughput ceiling. It is the binding
+//    resource for cache-resident, gather-heavy kernels and is what keeps
+//    modeled Spaden speedups in the paper's 1.3–1.7x band over cuSPARSE CSR
+//    instead of the pure-DRAM-ratio ~3x.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/stats.hpp"
+
+namespace spaden::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Topology.
+  int sm_count = 0;
+  int cuda_cores_per_sm = 0;
+  int tensor_cores_per_sm = 0;
+  int max_warps_per_sm = 48;
+
+  // Clocks and throughputs.
+  double clock_ghz = 0;             ///< sustained SM clock
+  double dram_bandwidth_gbps = 0;   ///< GB/s
+  double l2_bandwidth_gbps = 0;     ///< GB/s of sector traffic through L2/LSU
+  double fp32_tflops = 0;           ///< CUDA-core peak (FMA counted as 2 FLOPs)
+  double tc_half_tflops = 0;        ///< tensor-core peak, fp16 in / fp32 acc
+
+  // Cache. The L1 capacity is a single-cache proxy for the per-SM L1s:
+  // warps execute sequentially in the simulator, so one SM-sized L1 sees
+  // approximately the locality each real L1 would.
+  std::uint64_t l1_capacity_bytes = 128 * 1024;
+  int l1_ways = 8;
+  std::uint64_t l2_capacity_bytes = 0;
+  int l2_ways = 16;
+  std::uint32_t sector_bytes = 32;
+
+  // Modeling knobs.
+  double mma_m8n8k4_efficiency = 1.0;  ///< shape efficiency for DASP's MMA
+  double mma_m16n16k16_efficiency = 1.0;
+  double kernel_launch_us = 0.5;       ///< fixed launch + drain overhead
+  double atomic_weight = 4.0;          ///< lane-op cost of one global atomic
+  /// Unique sectors an SM's LSU retires per cycle: a fully uncoalesced warp
+  /// load (32 sectors) replays ~32x longer than a coalesced one (Fig. 8's
+  /// CSR Warp16 mechanism).
+  double lsu_wavefronts_per_cycle = 1.0;
+  /// Fraction of peak issue rate real memory-intermixed kernels achieve.
+  double cuda_issue_efficiency = 0.7;
+
+  /// Peak CUDA-core lane-op rate (ops/s): one op per core per cycle.
+  [[nodiscard]] double cuda_op_rate() const {
+    return static_cast<double>(sm_count) * cuda_cores_per_sm * clock_ghz * 1e9;
+  }
+
+  /// Warps needed in flight to consider the device fully occupied. SpMV
+  /// kernels have high memory-level parallelism per warp, so ~4 resident
+  /// warps per SM suffice to saturate the bandwidth-side rooflines; fewer
+  /// than that genuinely underutilizes the device (the mechanism that lets
+  /// plain BSR keep up with Spaden on the small dense-block matrices, where
+  /// Spaden's 16-rows-per-warp launch has the fewest warps in flight).
+  [[nodiscard]] double saturation_warps() const {
+    return static_cast<double>(sm_count) * 4.0;
+  }
+};
+
+/// NVIDIA L40 (Ada Lovelace): 142 SMs, 18176 CUDA cores, 568 tensor cores,
+/// 96 MB L2, 864 GB/s GDDR6.
+DeviceSpec l40();
+
+/// NVIDIA V100 (Volta): 80 SMs, 5120 CUDA cores, 640 tensor cores, 6 MB L2,
+/// 897 GB/s HBM2.
+DeviceSpec v100();
+
+/// Look up a preset by name ("l40" or "v100"); throws on unknown name.
+DeviceSpec device_by_name(const std::string& name);
+
+/// Convert measured counters into a modeled execution time.
+TimeBreakdown estimate_time(const DeviceSpec& spec, const KernelStats& stats);
+
+}  // namespace spaden::sim

@@ -1,0 +1,10 @@
+// Umbrella header for the GPU simulator substrate.
+#pragma once
+
+#include "gpusim/cache.hpp"        // IWYU pragma: export
+#include "gpusim/controller.hpp"   // IWYU pragma: export
+#include "gpusim/device.hpp"       // IWYU pragma: export
+#include "gpusim/device_spec.hpp"  // IWYU pragma: export
+#include "gpusim/memory.hpp"       // IWYU pragma: export
+#include "gpusim/stats.hpp"        // IWYU pragma: export
+#include "gpusim/warp.hpp"         // IWYU pragma: export

@@ -1,0 +1,118 @@
+// Simulated device global memory.
+//
+// Buffers are host-resident storage tagged with a virtual device address so
+// the memory controller can model sector coalescing and the L2 cache. The
+// address layout is a simple monotone bump allocator aligned to 256 bytes
+// (cudaMalloc's alignment), which preserves the property that distinct
+// arrays never share a sector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spaden::sim {
+
+/// Typed view of (part of) a device buffer: host pointer + device address.
+template <typename T>
+struct DSpan {
+  T* data = nullptr;
+  std::uint64_t addr = 0;  ///< device virtual address of element 0
+  std::size_t size = 0;
+
+  [[nodiscard]] T& operator[](std::size_t i) const {
+    SPADEN_ASSERT(i < size, "device access out of bounds: %zu >= %zu", i, size);
+    return data[i];
+  }
+  [[nodiscard]] std::uint64_t addr_of(std::size_t i) const { return addr + i * sizeof(T); }
+  [[nodiscard]] bool empty() const { return size == 0; }
+
+  /// Implicit const-qualification, mirroring std::span.
+  operator DSpan<const T>() const
+    requires(!std::is_const_v<T>)
+  {
+    return DSpan<const T>{data, addr, size};
+  }
+
+  [[nodiscard]] DSpan<T> subspan(std::size_t offset, std::size_t count) const {
+    SPADEN_REQUIRE(offset + count <= size, "subspan [%zu, %zu) exceeds size %zu", offset,
+                   offset + count, size);
+    return DSpan<T>{data + offset, addr + offset * sizeof(T), count};
+  }
+};
+
+class DeviceMemory;
+
+/// Owning device allocation. Movable, not copyable (like a cudaMalloc'd
+/// pointer wrapped in a unique handle).
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+
+  [[nodiscard]] DSpan<T> span() {
+    return DSpan<T>{storage_.data(), addr_, storage_.size()};
+  }
+  [[nodiscard]] DSpan<const T> cspan() const {
+    return DSpan<const T>{storage_.data(), addr_, storage_.size()};
+  }
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+  [[nodiscard]] std::uint64_t device_addr() const { return addr_; }
+  [[nodiscard]] std::uint64_t bytes() const { return storage_.size() * sizeof(T); }
+
+  /// Host-side access for initialization and verification (models
+  /// cudaMemcpy, which is not part of kernel timing).
+  [[nodiscard]] std::vector<T>& host() { return storage_; }
+  [[nodiscard]] const std::vector<T>& host() const { return storage_; }
+
+ private:
+  friend class DeviceMemory;
+  Buffer(std::vector<T> storage, std::uint64_t addr)
+      : storage_(std::move(storage)), addr_(addr) {}
+
+  std::vector<T> storage_;
+  std::uint64_t addr_ = 0;
+};
+
+class DeviceMemory {
+ public:
+  /// Allocate `count` zero-initialized elements.
+  template <typename T>
+  Buffer<T> alloc(std::size_t count) {
+    return Buffer<T>(std::vector<T>(count), reserve(count * sizeof(T)));
+  }
+
+  /// Allocate and copy host data (models cudaMemcpy H2D).
+  template <typename T>
+  Buffer<T> upload(const std::vector<T>& host_data) {
+    return Buffer<T>(host_data, reserve(host_data.size() * sizeof(T)));
+  }
+
+  template <typename T>
+  Buffer<T> upload(std::vector<T>&& host_data) {
+    const std::uint64_t addr = reserve(host_data.size() * sizeof(T));
+    return Buffer<T>(std::move(host_data), addr);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_allocated() const { return next_addr_ - kBase; }
+
+ private:
+  static constexpr std::uint64_t kBase = 0x10000;
+  static constexpr std::uint64_t kAlign = 256;
+
+  std::uint64_t reserve(std::uint64_t bytes) {
+    const std::uint64_t addr = next_addr_;
+    const std::uint64_t padded = (bytes + kAlign - 1) / kAlign * kAlign;
+    next_addr_ += padded == 0 ? kAlign : padded;
+    return addr;
+  }
+
+  std::uint64_t next_addr_ = kBase;
+};
+
+}  // namespace spaden::sim

@@ -1,0 +1,69 @@
+#include "gpusim/stats.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spaden::sim {
+
+KernelStats& KernelStats::operator+=(const KernelStats& o) {
+  wavefronts += o.wavefronts;
+  l1_hit_bytes += o.l1_hit_bytes;
+  sectors += o.sectors;
+  dram_bytes += o.dram_bytes;
+  l2_hit_bytes += o.l2_hit_bytes;
+  mem_instructions += o.mem_instructions;
+  lane_loads += o.lane_loads;
+  lane_stores += o.lane_stores;
+  cuda_ops += o.cuda_ops;
+  tc_mma_m16n16k16 += o.tc_mma_m16n16k16;
+  tc_mma_m8n8k4 += o.tc_mma_m8n8k4;
+  atomic_lane_ops += o.atomic_lane_ops;
+  shuffle_lane_ops += o.shuffle_lane_ops;
+  warps_launched += o.warps_launched;
+  return *this;
+}
+
+std::string KernelStats::summary() const {
+  return strfmt(
+      "wavefronts=%llu sectors=%llu dram=%llu B l2hit=%llu B mem_instr=%llu cuda_ops=%llu "
+      "mma16=%llu mma884=%llu atomics=%llu warps=%llu",
+      static_cast<unsigned long long>(wavefronts),
+      static_cast<unsigned long long>(sectors), static_cast<unsigned long long>(dram_bytes),
+      static_cast<unsigned long long>(l2_hit_bytes),
+      static_cast<unsigned long long>(mem_instructions),
+      static_cast<unsigned long long>(cuda_ops),
+      static_cast<unsigned long long>(tc_mma_m16n16k16),
+      static_cast<unsigned long long>(tc_mma_m8n8k4),
+      static_cast<unsigned long long>(atomic_lane_ops),
+      static_cast<unsigned long long>(warps_launched));
+}
+
+const char* TimeBreakdown::bound_by() const {
+  const double m = std::max({t_dram, t_l2, t_lsu, t_cuda, t_tc});
+  if (t_launch > m) {
+    return "launch";
+  }
+  if (m == t_dram) {
+    return "dram";
+  }
+  if (m == t_l2) {
+    return "l2";
+  }
+  if (m == t_lsu) {
+    return "lsu";
+  }
+  if (m == t_cuda) {
+    return "cuda";
+  }
+  return "tc";
+}
+
+std::string TimeBreakdown::summary() const {
+  return strfmt(
+      "total=%.3f us (dram=%.3f l2=%.3f lsu=%.3f cuda=%.3f tc=%.3f launch=%.3f) bound=%s",
+      total * 1e6, t_dram * 1e6, t_l2 * 1e6, t_lsu * 1e6, t_cuda * 1e6, t_tc * 1e6,
+      t_launch * 1e6, bound_by());
+}
+
+}  // namespace spaden::sim

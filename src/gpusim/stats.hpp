@@ -1,0 +1,102 @@
+// Hardware event counters collected while a kernel executes on the simulator.
+//
+// These are *measured* quantities (how many 32-byte sectors the kernel's
+// memory instructions touched, how many of those missed the modeled L2, how
+// many weighted CUDA-core lane-operations and tensor-core MMAs were issued).
+// The DeviceModel converts them into a modeled kernel time; see
+// gpusim/device.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spaden::sim {
+
+/// Instruction classes with relative CUDA-core costs (in lane-op units; one
+/// unit = one single-precision ALU lane-op at peak issue rate).
+enum class OpClass {
+  IntAlu,    // integer add/shift/mask/compare
+  FpAlu,     // fp32 add/mul
+  Fma,       // fused multiply-add (counts as one op, two FLOPs)
+  Convert,   // type conversion (f32<->f16, int<->float)
+  Special,   // division, transcendental (4x)
+  Branch,    // divergence handling / predicate evaluation
+  Shuffle,   // warp shuffle
+  RegMove,   // register-to-register move (fragment direct access)
+};
+
+[[nodiscard]] constexpr std::uint64_t op_weight(OpClass c) {
+  switch (c) {
+    case OpClass::Special:
+      return 4;
+    case OpClass::IntAlu:
+    case OpClass::FpAlu:
+    case OpClass::Fma:
+    case OpClass::Convert:
+    case OpClass::Branch:
+    case OpClass::Shuffle:
+      return 1;
+    case OpClass::RegMove:
+      // Direct fragment-register access is free: the decoded value is
+      // produced *in* the destination register (the paper's §4.3.3
+      // advantage). The conventional staging path charges explicit IntAlu
+      // ops instead.
+      return 0;
+  }
+  return 1;
+}
+
+struct KernelStats {
+  // --- memory system ---
+  std::uint64_t wavefronts = 0;         ///< unique 32 B sectors per warp memory
+                                        ///< instruction (LSU replay cost; an
+                                        ///< uncoalesced instruction costs up to 32)
+  std::uint64_t l1_hit_bytes = 0;       ///< sector bytes served by the L1 model
+  std::uint64_t sectors = 0;            ///< L2 sector accesses (L1 misses)
+  std::uint64_t dram_bytes = 0;         ///< bytes transferred to/from DRAM (L2 misses)
+  std::uint64_t l2_hit_bytes = 0;       ///< bytes served from L2
+  std::uint64_t mem_instructions = 0;   ///< warp-level load/store instructions
+  std::uint64_t lane_loads = 0;         ///< per-lane load operations
+  std::uint64_t lane_stores = 0;        ///< per-lane store operations
+
+  // --- compute ---
+  std::uint64_t cuda_ops = 0;           ///< weighted CUDA-core lane-ops
+  std::uint64_t tc_mma_m16n16k16 = 0;   ///< 16x16x16 half MMA operations
+  std::uint64_t tc_mma_m8n8k4 = 0;      ///< 8x8x4 half MMA operations (DASP shape)
+  std::uint64_t atomic_lane_ops = 0;    ///< per-lane global atomics
+  std::uint64_t shuffle_lane_ops = 0;   ///< per-lane shuffle data movements
+
+  // --- launch shape ---
+  std::uint64_t warps_launched = 0;
+
+  KernelStats& operator+=(const KernelStats& o);
+
+  /// Total bytes that crossed the L2 interface (hits + misses).
+  [[nodiscard]] std::uint64_t l2_bytes() const { return dram_bytes + l2_hit_bytes; }
+
+  /// Tensor-core FLOPs issued (2*M*N*K per MMA).
+  [[nodiscard]] double tc_flops() const {
+    return 2.0 * (static_cast<double>(tc_mma_m16n16k16) * 16 * 16 * 16 +
+                  static_cast<double>(tc_mma_m8n8k4) * 8 * 8 * 4);
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Per-component modeled times for one kernel launch (seconds).
+struct TimeBreakdown {
+  double t_dram = 0;    ///< DRAM bandwidth term
+  double t_l2 = 0;      ///< L2 sector-bandwidth term (L1 misses)
+  double t_lsu = 0;     ///< load/store-unit wavefront term (coalescing cost)
+  double t_cuda = 0;    ///< CUDA-core throughput term
+  double t_tc = 0;      ///< tensor-core throughput term
+  double t_launch = 0;  ///< fixed kernel-launch overhead
+  double total = 0;     ///< t_launch + max(other terms)
+
+  /// Name of the binding resource ("dram", "l2", "lsu", "cuda", "tc",
+  /// "launch").
+  [[nodiscard]] const char* bound_by() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace spaden::sim

@@ -1,0 +1,38 @@
+#include "gpusim/warp.hpp"
+
+namespace spaden::sim {
+
+Lanes<std::uint32_t> lane_ids() {
+  Lanes<std::uint32_t> l{};
+  for (int i = 0; i < kWarpSize; ++i) {
+    l[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i);
+  }
+  return l;
+}
+
+float WarpCtx::reduce_add(Lanes<float> v, std::uint32_t mask) {
+  // Inactive lanes contribute zero.
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (((mask >> lane) & 1u) == 0) {
+      v[static_cast<std::size_t>(lane)] = 0.0f;
+    }
+  }
+  // log2(32) = 5 rounds of shuffle + add on the full warp.
+  for (unsigned delta = kWarpSize / 2; delta > 0; delta /= 2) {
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      const unsigned partner = static_cast<unsigned>(lane) ^ delta;
+      if (partner > static_cast<unsigned>(lane)) {
+        const float sum = v[l] + v[partner];
+        v[l] = sum;
+        v[partner] = sum;
+      }
+    }
+    stats_->shuffle_lane_ops += kWarpSize;
+    charge(OpClass::Shuffle, kWarpSize);
+    charge(OpClass::FpAlu, kWarpSize);
+  }
+  return v[0];
+}
+
+}  // namespace spaden::sim

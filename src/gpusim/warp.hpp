@@ -1,0 +1,207 @@
+// Warp-synchronous execution context.
+//
+// Kernels in this library are written the way CUDA warp-level code is
+// reasoned about: a warp of 32 lanes advances in lockstep, values live in
+// per-lane registers (Lanes<T>), and cross-lane communication happens
+// through shuffles, ballots and reductions. The context charges every
+// operation to the kernel's counters so the performance model sees exactly
+// what the code does.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "gpusim/controller.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/stats.hpp"
+
+namespace spaden::sim {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr std::uint32_t kFullMask = 0xFFFF'FFFFu;
+
+/// Per-lane register file entry: one value per lane of the warp.
+template <typename T>
+using Lanes = std::array<T, kWarpSize>;
+
+template <typename T>
+Lanes<T> make_lanes(T value) {
+  Lanes<T> l;
+  l.fill(value);
+  return l;
+}
+
+/// Lane indices 0..31 (threadIdx.x % 32).
+Lanes<std::uint32_t> lane_ids();
+
+/// Number of active lanes in a mask, as a charge-friendly count.
+[[nodiscard]] inline std::uint64_t active_lanes(std::uint32_t mask) {
+  return static_cast<std::uint64_t>(std::popcount(mask));
+}
+
+class WarpCtx {
+ public:
+  WarpCtx(MemoryController* mc, KernelStats* stats) : mc_(mc), stats_(stats) {}
+
+  [[nodiscard]] KernelStats& stats() { return *stats_; }
+
+  // ----- compute charging -------------------------------------------------
+
+  /// Charge `lane_count` lane-operations of class `c` (e.g. 32 for a fully
+  /// active warp instruction).
+  void charge(OpClass c, std::uint64_t lane_count) {
+    stats_->cuda_ops += op_weight(c) * lane_count;
+  }
+
+  // ----- global memory ----------------------------------------------------
+
+  /// Gather: lane i loads element idx[i]; inactive lanes (mask bit clear)
+  /// return T{}.
+  template <typename T>
+  Lanes<T> gather(DSpan<const T> src, const Lanes<std::uint32_t>& idx,
+                  std::uint32_t mask = kFullMask) {
+    std::array<std::uint64_t, kWarpSize> addrs{};
+    std::array<std::uint32_t, kWarpSize> sizes{};
+    Lanes<T> out{};
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      if ((mask >> lane) & 1u) {
+        SPADEN_ASSERT(idx[l] < src.size, "gather lane %d out of bounds: %u >= %zu", lane,
+                      idx[l], src.size);
+        out[l] = src.data[idx[l]];
+        addrs[l] = src.addr_of(idx[l]);
+        sizes[l] = sizeof(T);
+      }
+    }
+    mc_->access(addrs, sizes, mask, /*is_store=*/false);
+    charge(OpClass::IntAlu, static_cast<std::uint64_t>(std::popcount(mask)));  // address computation
+    return out;
+  }
+
+  /// Scatter: lane i stores v[i] to element idx[i].
+  template <typename T>
+  void scatter(DSpan<T> dst, const Lanes<std::uint32_t>& idx, const Lanes<T>& v,
+               std::uint32_t mask = kFullMask) {
+    std::array<std::uint64_t, kWarpSize> addrs{};
+    std::array<std::uint32_t, kWarpSize> sizes{};
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      if ((mask >> lane) & 1u) {
+        SPADEN_ASSERT(idx[l] < dst.size, "scatter lane %d out of bounds: %u >= %zu", lane,
+                      idx[l], dst.size);
+        dst.data[idx[l]] = v[l];
+        addrs[l] = dst.addr_of(idx[l]);
+        sizes[l] = sizeof(T);
+      }
+    }
+    mc_->access(addrs, sizes, mask, /*is_store=*/true);
+    charge(OpClass::IntAlu, static_cast<std::uint64_t>(std::popcount(mask)));
+  }
+
+  /// Broadcast scalar load: one lane loads, the value is shuffled to all
+  /// (the common "lane 0 reads the row pointer" idiom).
+  template <typename T>
+  T scalar_load(DSpan<const T> src, std::size_t idx) {
+    SPADEN_ASSERT(idx < src.size, "scalar load out of bounds: %zu >= %zu", idx, src.size);
+    mc_->access_range(src.addr_of(idx), sizeof(T), /*is_store=*/false);
+    charge(OpClass::IntAlu, 1);
+    return src.data[idx];
+  }
+
+  /// Scalar store from one lane.
+  template <typename T>
+  void scalar_store(DSpan<T> dst, std::size_t idx, T value) {
+    SPADEN_ASSERT(idx < dst.size, "scalar store out of bounds: %zu >= %zu", idx, dst.size);
+    dst.data[idx] = value;
+    mc_->access_range(dst.addr_of(idx), sizeof(T), /*is_store=*/true);
+    charge(OpClass::IntAlu, 1);
+  }
+
+  /// Per-lane atomic add (atomicAdd on float).
+  void atomic_add(DSpan<float> dst, const Lanes<std::uint32_t>& idx, const Lanes<float>& v,
+                  std::uint32_t mask = kFullMask) {
+    std::array<std::uint64_t, kWarpSize> addrs{};
+    std::array<std::uint32_t, kWarpSize> sizes{};
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      if ((mask >> lane) & 1u) {
+        SPADEN_ASSERT(idx[l] < dst.size, "atomic lane %d out of bounds: %u >= %zu", lane,
+                      idx[l], dst.size);
+        dst.data[idx[l]] += v[l];
+        addrs[l] = dst.addr_of(idx[l]);
+        sizes[l] = sizeof(float);
+      }
+    }
+    mc_->access_atomic(addrs, sizes, mask);
+  }
+
+  /// Single atomic fetch-add issued by one lane (dynamic work distribution:
+  /// LightSpMV's global row counter).
+  std::uint32_t atomic_fetch_add(DSpan<std::uint32_t> counter, std::size_t idx,
+                                 std::uint32_t delta) {
+    SPADEN_ASSERT(idx < counter.size, "counter index out of bounds");
+    const std::uint32_t old = counter.data[idx];
+    counter.data[idx] += delta;
+    std::array<std::uint64_t, kWarpSize> addrs{};
+    std::array<std::uint32_t, kWarpSize> sizes{};
+    addrs[0] = counter.addr_of(idx);
+    sizes[0] = sizeof(std::uint32_t);
+    mc_->access_atomic(addrs, sizes, 0x1u);
+    return old;
+  }
+
+  // ----- intra-warp communication ------------------------------------------
+
+  /// __shfl_sync: every lane reads the register of lane `src[i]`.
+  template <typename T>
+  Lanes<T> shfl(const Lanes<T>& v, const Lanes<std::uint32_t>& src,
+                std::uint32_t mask = kFullMask) {
+    Lanes<T> out{};
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      if ((mask >> lane) & 1u) {
+        SPADEN_ASSERT(src[l] < kWarpSize, "shuffle source lane out of range");
+        out[l] = v[src[l]];
+      }
+    }
+    stats_->shuffle_lane_ops += static_cast<std::uint64_t>(std::popcount(mask));
+    charge(OpClass::Shuffle, static_cast<std::uint64_t>(std::popcount(mask)));
+    return out;
+  }
+
+  /// __shfl_down_sync with the given delta.
+  template <typename T>
+  Lanes<T> shfl_down(const Lanes<T>& v, unsigned delta, std::uint32_t mask = kFullMask) {
+    Lanes<std::uint32_t> src;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      const unsigned s = static_cast<unsigned>(lane) + delta;
+      src[l] = s < kWarpSize ? s : static_cast<std::uint32_t>(lane);
+    }
+    return shfl(v, src, mask);
+  }
+
+  /// Butterfly sum reduction over the active lanes; result valid in every
+  /// lane (5 shuffle+add rounds, like __reduce_add_sync).
+  float reduce_add(Lanes<float> v, std::uint32_t mask = kFullMask);
+
+  /// __ballot_sync.
+  std::uint32_t ballot(const Lanes<bool>& pred, std::uint32_t mask = kFullMask) {
+    std::uint32_t out = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (((mask >> lane) & 1u) && pred[static_cast<std::size_t>(lane)]) {
+        out |= 1u << lane;
+      }
+    }
+    charge(OpClass::IntAlu, static_cast<std::uint64_t>(std::popcount(mask)));
+    return out;
+  }
+
+ private:
+  MemoryController* mc_;
+  KernelStats* stats_;
+};
+
+}  // namespace spaden::sim

@@ -1,0 +1,55 @@
+// Warp-level bitBSR block decode (Algorithm 2's matrix half), shared by the
+// SpMV, SpMM and SDDMM kernels: each lane extracts its two bits from the
+// block bitmap, loads only the set positions' binary16 values (zeros are
+// computed in-register), and learns the block's grid column.
+#pragma once
+
+#include "common/bitops.hpp"
+#include "gpusim/warp.hpp"
+#include "kernels/formats_device.hpp"
+
+namespace spaden::kern {
+
+struct DecodedBlock {
+  sim::Lanes<half> a_val1;  ///< element at bit 2*lid (zero if bit clear)
+  sim::Lanes<half> a_val2;  ///< element at bit 2*lid + 1
+  mat::Index block_col = 0;
+};
+
+/// Decode block `a_idx` of a device bitBSR. Charges the Algorithm 2 integer
+/// arithmetic and issues the two masked value gathers.
+inline DecodedBlock decode_bitbsr_block(sim::WarpCtx& ctx, const DeviceBitBsr& m,
+                                        mat::Index a_idx) {
+  DecodedBlock out{};
+  const std::uint64_t bmp = ctx.scalar_load(m.bitmap.cspan(), a_idx);
+  out.block_col = ctx.scalar_load(m.block_col.cspan(), a_idx);
+  const mat::Index offset = ctx.scalar_load(m.val_offset.cspan(), a_idx);
+
+  sim::Lanes<std::uint32_t> vidx1{};
+  sim::Lanes<std::uint32_t> vidx2{};
+  std::uint32_t mask_bit1 = 0;
+  std::uint32_t mask_bit2 = 0;
+  for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+    const unsigned pos1 = 2 * lane;
+    const unsigned pos2 = pos1 + 1;
+    if (spaden::test_bit(bmp, pos1)) {
+      vidx1[lane] = offset + static_cast<std::uint32_t>(spaden::prefix_popcount(bmp, pos1));
+      mask_bit1 |= 1u << lane;
+    }
+    if (spaden::test_bit(bmp, pos2)) {
+      vidx2[lane] = offset + static_cast<std::uint32_t>(spaden::prefix_popcount(bmp, pos2));
+      mask_bit2 |= 1u << lane;
+    }
+  }
+  // Shifts, masks, popcounts and the two ternaries (Algo 2 lines 1-6).
+  ctx.charge(sim::OpClass::IntAlu, 6 * sim::kWarpSize);
+  const auto v1 = ctx.gather(m.values.cspan(), vidx1, mask_bit1);
+  const auto v2 = ctx.gather(m.values.cspan(), vidx2, mask_bit2);
+  for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+    out.a_val1[lane] = ((mask_bit1 >> lane) & 1u) ? v1[lane] : half{};
+    out.a_val2[lane] = ((mask_bit2 >> lane) & 1u) ? v2[lane] : half{};
+  }
+  return out;
+}
+
+}  // namespace spaden::kern

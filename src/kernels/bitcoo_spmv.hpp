@@ -1,0 +1,31 @@
+// Block-parallel SpMV over bitCOO (paper §7's COO extension of the bitmap
+// blocking).
+//
+// Where Spaden's bitBSR kernel assigns warps to block-row pairs, the bitCOO
+// kernel assigns one warp per non-empty block regardless of position —
+// Gunrock's edge-parallel idea lifted to block granularity. Each warp
+// decodes its block's bitmap, multiplies against the x segment on CUDA
+// cores, reduces the 8 block rows and atomically accumulates into y.
+// Perfectly load-balanced (every warp owns exactly one block) at the price
+// of atomic output traffic — the classic COO-vs-CSR trade, now amortized
+// over 64-element blocks instead of single edges.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "matrix/bitcoo.hpp"
+
+namespace spaden::kern {
+
+struct BitCooSpmvResult {
+  std::vector<float> y;
+  sim::LaunchResult launch;
+};
+
+/// y = A*x with A in bitCOO form. Values are binary16 (as in bitBSR);
+/// accumulation is fp32.
+BitCooSpmvResult spmv_bitcoo(sim::Device& device, const mat::BitCoo& a,
+                             const std::vector<float>& x);
+
+}  // namespace spaden::kern

@@ -1,0 +1,100 @@
+// Textbook scalar CSR SpMV: one thread per row (Algorithm 1 of the paper,
+// parallelized by rows). Each lane walks its own row, so neighbouring lanes
+// read from unrelated parts of col_idx/val — the classic uncoalesced
+// baseline that motivates vector kernels.
+#include "kernels/formats_device.hpp"
+#include "kernels/internal.hpp"
+
+namespace spaden::kern {
+
+namespace {
+
+class CsrScalarKernel final : public SpmvKernel {
+ public:
+  [[nodiscard]] Method method() const override { return Method::CsrScalar; }
+
+  void do_prepare(sim::Device& device, const mat::Csr& a) override {
+    csr_ = DeviceCsr::upload(device.memory(), a);
+  }
+
+  sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
+                        sim::DSpan<float> y) override {
+    SPADEN_REQUIRE(x.size == ncols_ && y.size == nrows_, "x/y size mismatch");
+    const auto row_ptr = csr_.row_ptr.cspan();
+    const auto col_idx = csr_.col_idx.cspan();
+    const auto val = csr_.val.cspan();
+    const mat::Index nrows = nrows_;
+
+    const std::uint64_t warps = (nrows + sim::kWarpSize - 1) / sim::kWarpSize;
+    return device.launch("csr_scalar", warps, [&](sim::WarpCtx& ctx, std::uint64_t w) {
+      sim::Lanes<std::uint32_t> rows{};
+      std::uint32_t row_mask = 0;
+      for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+        const std::uint64_t r = w * sim::kWarpSize + lane;
+        if (r < nrows) {
+          rows[lane] = static_cast<std::uint32_t>(r);
+          row_mask |= 1u << lane;
+        }
+      }
+      if (row_mask == 0) {
+        return;
+      }
+      // Row bounds: two coalesced gathers over row_ptr.
+      sim::Lanes<std::uint32_t> begin = ctx.gather(row_ptr, rows, row_mask);
+      sim::Lanes<std::uint32_t> end{};
+      {
+        sim::Lanes<std::uint32_t> rows1 = rows;
+        for (auto& r : rows1) {
+          ++r;
+        }
+        end = ctx.gather(row_ptr, rows1, row_mask);
+      }
+      sim::Lanes<float> acc{};
+      // Lockstep element loop: lane i reads element begin[i]+k of ITS row.
+      bool any = true;
+      std::uint32_t k = 0;
+      while (any) {
+        any = false;
+        std::uint32_t mask = 0;
+        sim::Lanes<std::uint32_t> idx{};
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          if (((row_mask >> lane) & 1u) && begin[lane] + k < end[lane]) {
+            idx[lane] = begin[lane] + k;
+            mask |= 1u << lane;
+            any = true;
+          }
+        }
+        if (!any) {
+          break;
+        }
+        ctx.charge(sim::OpClass::Branch, sim::active_lanes(row_mask));
+        const auto cols = ctx.gather(col_idx, idx, mask);
+        const auto vals = ctx.gather(val, idx, mask);
+        const auto xv = ctx.gather(x, cols, mask);
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          if ((mask >> lane) & 1u) {
+            acc[lane] += vals[lane] * xv[lane];
+          }
+        }
+        ctx.charge(sim::OpClass::Fma, sim::active_lanes(mask));
+        ++k;
+      }
+      ctx.scatter(y, rows, acc, row_mask);
+    });
+  }
+
+  [[nodiscard]] Footprint footprint() const override {
+    Footprint fp;
+    csr_.add_footprint(fp);
+    return fp;
+  }
+
+ private:
+  DeviceCsr csr_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpmvKernel> make_csr_scalar() { return std::make_unique<CsrScalarKernel>(); }
+
+}  // namespace spaden::kern

@@ -1,0 +1,121 @@
+// CSR Warp16 ablation (paper §5.3, Fig. 8): CSR on CUDA cores with 16 rows
+// processed per warp, matching Spaden's row granularity. Each row is walked
+// by a pair of lanes working independently of the other rows' lanes, so one
+// warp memory instruction touches up to 16 unrelated row segments — the
+// uncoalesced access pattern the paper blames for this variant's 23x
+// deficit ("neighboring threads loading non-consecutive elements from
+// global memory").
+#include "kernels/formats_device.hpp"
+#include "kernels/internal.hpp"
+
+namespace spaden::kern {
+
+namespace {
+
+class CsrWarp16Kernel final : public SpmvKernel {
+ public:
+  [[nodiscard]] Method method() const override { return Method::CsrWarp16; }
+
+  void do_prepare(sim::Device& device, const mat::Csr& a) override {
+    csr_ = DeviceCsr::upload(device.memory(), a);
+  }
+
+  sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
+                        sim::DSpan<float> y) override {
+    SPADEN_REQUIRE(x.size == ncols_ && y.size == nrows_, "x/y size mismatch");
+    const auto row_ptr = csr_.row_ptr.cspan();
+    const auto col_idx = csr_.col_idx.cspan();
+    const auto val = csr_.val.cspan();
+    const mat::Index nrows = nrows_;
+
+    constexpr unsigned kRowsPerWarp = 16;  // identical to Spaden
+    const std::uint64_t warps = (nrows + kRowsPerWarp - 1) / kRowsPerWarp;
+    return device.launch("csr_warp16", warps, [&](sim::WarpCtx& ctx, std::uint64_t w) {
+      // Lane l works on row w*16 + l/2, processing elements l%2, l%2+2, ...
+      sim::Lanes<std::uint32_t> rows{};
+      std::uint32_t row_mask = 0;
+      for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+        const std::uint64_t r = w * kRowsPerWarp + lane / 2;
+        if (r < nrows) {
+          rows[lane] = static_cast<std::uint32_t>(r);
+          row_mask |= 1u << lane;
+        }
+      }
+      if (row_mask == 0) {
+        return;
+      }
+      const auto begin = ctx.gather(row_ptr, rows, row_mask);
+      sim::Lanes<std::uint32_t> rows1 = rows;
+      for (auto& r : rows1) {
+        ++r;
+      }
+      const auto end = ctx.gather(row_ptr, rows1, row_mask);
+
+      sim::Lanes<float> acc{};
+      std::uint32_t k = 0;
+      while (true) {
+        std::uint32_t mask = 0;
+        sim::Lanes<std::uint32_t> idx{};
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          if ((row_mask >> lane) & 1u) {
+            const std::uint32_t i = begin[lane] + lane % 2 + k * 2;
+            if (i < end[lane]) {
+              idx[lane] = i;
+              mask |= 1u << lane;
+            }
+          }
+        }
+        if (mask == 0) {
+          break;
+        }
+        ctx.charge(sim::OpClass::Branch, sim::active_lanes(row_mask));
+        // 16 independent row walks per instruction: heavily uncoalesced.
+        const auto cols = ctx.gather(col_idx, idx, mask);
+        const auto vals = ctx.gather(val, idx, mask);
+        const auto xv = ctx.gather(x, cols, mask);
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          if ((mask >> lane) & 1u) {
+            acc[lane] += vals[lane] * xv[lane];
+          }
+        }
+        ctx.charge(sim::OpClass::Fma, sim::active_lanes(mask));
+        ++k;
+      }
+
+      // Combine the two lanes of each row and store from the even lane.
+      {
+        sim::Lanes<std::uint32_t> src{};
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          src[lane] = lane ^ 1u;
+        }
+        const auto other = ctx.shfl(acc, src, row_mask);
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          acc[lane] += other[lane];
+        }
+        ctx.charge(sim::OpClass::FpAlu, sim::active_lanes(row_mask));
+      }
+      std::uint32_t store_mask = 0;
+      for (unsigned lane = 0; lane < sim::kWarpSize; lane += 2) {
+        if ((row_mask >> lane) & 1u) {
+          store_mask |= 1u << lane;
+        }
+      }
+      ctx.scatter(y, rows, acc, store_mask);
+    });
+  }
+
+  [[nodiscard]] Footprint footprint() const override {
+    Footprint fp;
+    csr_.add_footprint(fp);
+    return fp;
+  }
+
+ private:
+  DeviceCsr csr_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpmvKernel> make_csr_warp16() { return std::make_unique<CsrWarp16Kernel>(); }
+
+}  // namespace spaden::kern

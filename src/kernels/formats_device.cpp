@@ -1,0 +1,68 @@
+#include "kernels/formats_device.hpp"
+
+namespace spaden::kern {
+
+DeviceCsr DeviceCsr::upload(sim::DeviceMemory& mem, const mat::Csr& a) {
+  DeviceCsr d;
+  d.row_ptr = mem.upload(a.row_ptr);
+  d.col_idx = mem.upload(a.col_idx);
+  d.val = mem.upload(a.val);
+  return d;
+}
+
+void DeviceCsr::add_footprint(Footprint& fp) const {
+  fp.add("csr.row_ptr", row_ptr.bytes());
+  fp.add("csr.col_idx", col_idx.bytes());
+  fp.add("csr.val", val.bytes());
+}
+
+DeviceCoo DeviceCoo::upload(sim::DeviceMemory& mem, const mat::Coo& a) {
+  DeviceCoo d;
+  d.row = mem.upload(a.row);
+  d.col = mem.upload(a.col);
+  d.val = mem.upload(a.val);
+  return d;
+}
+
+void DeviceCoo::add_footprint(Footprint& fp) const {
+  fp.add("coo.row", row.bytes());
+  fp.add("coo.col", col.bytes());
+  fp.add("coo.val", val.bytes());
+}
+
+DeviceBsr DeviceBsr::upload(sim::DeviceMemory& mem, const mat::Bsr& a) {
+  DeviceBsr d;
+  d.block_dim = a.block_dim;
+  d.brows = a.brows;
+  d.block_row_ptr = mem.upload(a.block_row_ptr);
+  d.block_col = mem.upload(a.block_col);
+  d.val = mem.upload(a.val);
+  return d;
+}
+
+void DeviceBsr::add_footprint(Footprint& fp) const {
+  fp.add("bsr.block_row_ptr", block_row_ptr.bytes());
+  fp.add("bsr.block_col", block_col.bytes());
+  fp.add("bsr.val", val.bytes());
+}
+
+DeviceBitBsr DeviceBitBsr::upload(sim::DeviceMemory& mem, const mat::BitBsr& a) {
+  DeviceBitBsr d;
+  d.brows = a.brows;
+  d.block_row_ptr = mem.upload(a.block_row_ptr);
+  d.block_col = mem.upload(a.block_col);
+  d.bitmap = mem.upload(a.bitmap);
+  d.val_offset = mem.upload(a.val_offset);
+  d.values = mem.upload(a.values);
+  return d;
+}
+
+void DeviceBitBsr::add_footprint(Footprint& fp) const {
+  fp.add("bitbsr.block_row_ptr", block_row_ptr.bytes());
+  fp.add("bitbsr.block_col", block_col.bytes());
+  fp.add("bitbsr.bitmap", bitmap.bytes());
+  fp.add("bitbsr.val_offset", val_offset.bytes());
+  fp.add("bitbsr.values", values.bytes());
+}
+
+}  // namespace spaden::kern

@@ -1,0 +1,57 @@
+// Device-resident copies of the sparse formats, shared by the kernels.
+//
+// Upload happens in each kernel's prepare() step; these helpers also
+// itemize the footprint for the Figure 10b comparison.
+#pragma once
+
+#include "gpusim/memory.hpp"
+#include "kernels/kernel.hpp"
+#include "matrix/bitbsr.hpp"
+#include "matrix/bsr.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden::kern {
+
+struct DeviceCsr {
+  sim::Buffer<mat::Index> row_ptr;
+  sim::Buffer<mat::Index> col_idx;
+  sim::Buffer<float> val;
+
+  static DeviceCsr upload(sim::DeviceMemory& mem, const mat::Csr& a);
+  void add_footprint(Footprint& fp) const;
+};
+
+struct DeviceCoo {
+  sim::Buffer<mat::Index> row;
+  sim::Buffer<mat::Index> col;
+  sim::Buffer<float> val;
+
+  static DeviceCoo upload(sim::DeviceMemory& mem, const mat::Coo& a);
+  void add_footprint(Footprint& fp) const;
+};
+
+struct DeviceBsr {
+  mat::Index block_dim = 8;
+  mat::Index brows = 0;
+  sim::Buffer<mat::Index> block_row_ptr;
+  sim::Buffer<mat::Index> block_col;
+  sim::Buffer<float> val;
+
+  static DeviceBsr upload(sim::DeviceMemory& mem, const mat::Bsr& a);
+  void add_footprint(Footprint& fp) const;
+};
+
+struct DeviceBitBsr {
+  mat::Index brows = 0;
+  sim::Buffer<mat::Index> block_row_ptr;
+  sim::Buffer<mat::Index> block_col;
+  sim::Buffer<std::uint64_t> bitmap;
+  sim::Buffer<mat::Index> val_offset;
+  sim::Buffer<half> values;
+
+  static DeviceBitBsr upload(sim::DeviceMemory& mem, const mat::BitBsr& a);
+  void add_footprint(Footprint& fp) const;
+};
+
+}  // namespace spaden::kern

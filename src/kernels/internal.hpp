@@ -1,0 +1,33 @@
+// Per-method factory functions, wired together by make_kernel().
+#pragma once
+
+#include <memory>
+
+#include "kernels/kernel.hpp"
+
+namespace spaden::kern {
+
+std::unique_ptr<SpmvKernel> make_csr_scalar();
+std::unique_ptr<SpmvKernel> make_csr_vector();   // cuSPARSE CSR stand-in
+std::unique_ptr<SpmvKernel> make_bsr_kernel();   // cuSPARSE BSR stand-in
+std::unique_ptr<SpmvKernel> make_lightspmv();
+std::unique_ptr<SpmvKernel> make_gunrock();
+std::unique_ptr<SpmvKernel> make_dasp();
+/// Spaden kernel family: the paper's kernel plus its ablation variants.
+enum class SpadenVariant {
+  TensorCore,    ///< the paper's kernel (direct registers, paired blocks)
+  NoTensorCore,  ///< bitBSR decode + CUDA-core MAC (Fig. 8)
+  Conventional,  ///< fragments filled through the WMMA staging path
+  Unpaired,      ///< one block-row per warp, top-left portion only
+};
+std::unique_ptr<SpmvKernel> make_spaden(SpadenVariant variant);
+std::unique_ptr<SpmvKernel> make_spaden_wide();  // bitBSR16, 16x16 blocks
+std::unique_ptr<SpmvKernel> make_csr_warp16();
+std::unique_ptr<SpmvKernel> make_csr_adaptive();
+
+/// Sub-warp vector width heuristic shared by the CSR vector kernels: the
+/// smallest power of two >= avg row nnz, clamped to [2, 32] (cuSPARSE's
+/// classic rule).
+unsigned choose_vector_width(double avg_row_nnz);
+
+}  // namespace spaden::kern

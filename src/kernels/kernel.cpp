@@ -1,0 +1,127 @@
+#include "kernels/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace spaden::kern {
+
+std::string_view method_name(Method m) {
+  switch (m) {
+    case Method::CsrScalar:
+      return "CSR Scalar";
+    case Method::CusparseCsr:
+      return "cuSPARSE CSR";
+    case Method::CusparseBsr:
+      return "cuSPARSE BSR";
+    case Method::LightSpmv:
+      return "LightSpMV";
+    case Method::Gunrock:
+      return "Gunrock";
+    case Method::Dasp:
+      return "DASP";
+    case Method::Spaden:
+      return "Spaden";
+    case Method::SpadenNoTc:
+      return "Spaden w/o TC";
+    case Method::CsrWarp16:
+      return "CSR Warp16";
+    case Method::CsrAdaptive:
+      return "CSR-Adaptive";
+    case Method::SpadenConventional:
+      return "Spaden (WMMA path)";
+    case Method::SpadenUnpaired:
+      return "Spaden (unpaired)";
+    case Method::SpadenWide:
+      return "Spaden-16 (bitBSR16)";
+  }
+  return "?";
+}
+
+const std::vector<Method>& figure6_methods() {
+  static const std::vector<Method> kMethods = {
+      Method::CusparseCsr, Method::CusparseBsr, Method::LightSpmv,
+      Method::Gunrock,     Method::Dasp,        Method::Spaden,
+  };
+  return kMethods;
+}
+
+const std::vector<Method>& all_methods() {
+  static const std::vector<Method> kMethods = {
+      Method::CsrScalar, Method::CusparseCsr, Method::CusparseBsr,
+      Method::LightSpmv, Method::Gunrock,     Method::Dasp,
+      Method::Spaden,    Method::SpadenNoTc,  Method::CsrWarp16,
+      Method::CsrAdaptive, Method::SpadenConventional, Method::SpadenUnpaired,
+      Method::SpadenWide,
+  };
+  return kMethods;
+}
+
+std::size_t Footprint::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& item : items) {
+    total += item.bytes;
+  }
+  return total;
+}
+
+void SpmvKernel::prepare(sim::Device& device, const mat::Csr& a) {
+  a.validate();
+  nrows_ = a.nrows;
+  ncols_ = a.ncols;
+  nnz_ = a.nnz();
+  Timer timer;
+  do_prepare(device, a);
+  prep_seconds_ = timer.seconds();
+}
+
+double spmv_tolerance(const mat::Csr& a, bool half_precision_values) {
+  mat::Index max_row = 1;
+  for (mat::Index r = 0; r < a.nrows; ++r) {
+    max_row = std::max(max_row, a.row_nnz(r));
+  }
+  float max_val = 0.0f;
+  for (const float v : a.val) {
+    max_val = std::max(max_val, std::abs(v));
+  }
+  // Each product contributes at most eps * |a| * |x| (|x| <= 1 from the
+  // verification vector); errors can accumulate linearly across the row.
+  const double eps = half_precision_values ? 0x1.0p-10 : 0x1.0p-23;
+  const double per_term = eps * static_cast<double>(max_val);
+  return std::max(1e-6, 4.0 * per_term * static_cast<double>(max_row));
+}
+
+VerifyResult verify_kernel(SpmvKernel& kernel, sim::Device& device, const mat::Csr& a,
+                           std::uint64_t x_seed) {
+  Rng rng(x_seed);
+  std::vector<float> x(a.ncols);
+  for (auto& v : x) {
+    v = rng.next_float(-1.0f, 1.0f);
+  }
+  const std::vector<double> y_ref = spmv_reference(a, x);
+
+  auto x_buf = device.memory().upload(x);
+  auto y_buf = device.memory().alloc<float>(a.nrows);
+  (void)kernel.run(device, x_buf.cspan(), y_buf.span());
+
+  const bool half_values =
+      kernel.method() == Method::Spaden || kernel.method() == Method::SpadenNoTc ||
+      kernel.method() == Method::SpadenConventional ||
+      kernel.method() == Method::SpadenUnpaired ||
+      kernel.method() == Method::SpadenWide || kernel.method() == Method::Dasp;
+  VerifyResult result;
+  result.tolerance = spmv_tolerance(a, half_values);
+  for (mat::Index r = 0; r < a.nrows; ++r) {
+    const double err = std::abs(static_cast<double>(y_buf.host()[r]) - y_ref[r]);
+    result.max_abs_err = std::max(result.max_abs_err, err);
+  }
+  SPADEN_REQUIRE(result.ok(), "%.*s produced wrong results: max err %g > tolerance %g",
+                 static_cast<int>(kernel.name().size()), kernel.name().data(),
+                 result.max_abs_err, result.tolerance);
+  return result;
+}
+
+}  // namespace spaden::kern

@@ -1,0 +1,135 @@
+// SpMV kernel interface and method registry.
+//
+// Every method the paper evaluates is one implementation of SpmvKernel:
+//
+//   CusparseCsr — modern csr-vector kernel (cuSPARSE CSR stand-in)
+//   CusparseBsr — dense 8x8 block kernel (cuSPARSE BSR stand-in)
+//   LightSpmv   — CSR vector kernel with dynamic row distribution [24]
+//   Gunrock     — edge-centric COO push with atomics [40]
+//   Dasp        — tensor-core m8n8k4 row-group kernel, half values [25]
+//   Spaden      — bitBSR + pairing tensor-core kernel (the paper's method)
+//   SpadenNoTc  — Spaden's bitBSR decode on CUDA cores (ablation, Fig. 8)
+//   CsrWarp16   — CSR with 16 rows per warp, uncoalesced (ablation, Fig. 8)
+//   CsrScalar   — textbook one-thread-per-row CSR (reference baseline)
+//   CsrAdaptive — row-block load-balanced CSR (CSR-Adaptive, SC'14)
+//   SpadenConventional — Spaden filling fragments through the documented
+//                 WMMA staging path instead of direct registers (ablation
+//                 of §3/§4.3.3's direct-access advantage)
+//   SpadenUnpaired — one block-row per warp (top-left portion only),
+//                 quantifying the diagonal two-block pairing of Fig. 5
+//   SpadenWide  — bitBSR16: one 16x16 block per fragment (the block-size
+//                 design point for wider dense matrix units)
+//
+// Protocol: construct, prepare(device, csr) once (converts the matrix to the
+// method's format, uploads it, and records host preprocessing time and
+// device footprint), then run(device, x, y) any number of times. run()
+// returns the measured counters and modeled time for one y = A*x.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden::kern {
+
+enum class Method {
+  CsrScalar,
+  CusparseCsr,
+  CusparseBsr,
+  LightSpmv,
+  Gunrock,
+  Dasp,
+  Spaden,
+  SpadenNoTc,
+  CsrWarp16,
+  CsrAdaptive,
+  SpadenConventional,
+  SpadenUnpaired,
+  SpadenWide,
+};
+
+[[nodiscard]] std::string_view method_name(Method m);
+
+/// The methods compared in the paper's Figure 6 (performance), in plot
+/// order.
+[[nodiscard]] const std::vector<Method>& figure6_methods();
+
+/// Every implemented method.
+[[nodiscard]] const std::vector<Method>& all_methods();
+
+/// Device memory consumed by a prepared kernel, itemized by array, used by
+/// the Figure 10b memory-footprint comparison.
+struct Footprint {
+  struct Item {
+    std::string name;
+    std::size_t bytes;
+  };
+  std::vector<Item> items;
+
+  void add(std::string name, std::size_t bytes) { items.push_back({std::move(name), bytes}); }
+  [[nodiscard]] std::size_t total_bytes() const;
+  [[nodiscard]] double bytes_per_nnz(std::size_t nnz) const {
+    return nnz == 0 ? 0.0 : static_cast<double>(total_bytes()) / static_cast<double>(nnz);
+  }
+};
+
+class SpmvKernel {
+ public:
+  virtual ~SpmvKernel() = default;
+
+  [[nodiscard]] virtual Method method() const = 0;
+  [[nodiscard]] std::string_view name() const { return method_name(method()); }
+
+  /// Convert the CSR matrix into this method's format and upload it.
+  /// Measures host-side preprocessing time (paper Fig. 10a).
+  void prepare(sim::Device& device, const mat::Csr& a);
+
+  /// One y = A*x. `x` must have ncols elements, `y` nrows. Overwrites y.
+  [[nodiscard]] virtual sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
+                                              sim::DSpan<float> y) = 0;
+
+  [[nodiscard]] virtual Footprint footprint() const = 0;
+
+  [[nodiscard]] double prep_seconds() const { return prep_seconds_; }
+  [[nodiscard]] mat::Index nrows() const { return nrows_; }
+  [[nodiscard]] mat::Index ncols() const { return ncols_; }
+  [[nodiscard]] std::size_t nnz() const { return nnz_; }
+
+ protected:
+  virtual void do_prepare(sim::Device& device, const mat::Csr& a) = 0;
+
+  mat::Index nrows_ = 0;
+  mat::Index ncols_ = 0;
+  std::size_t nnz_ = 0;
+
+ private:
+  double prep_seconds_ = 0;
+};
+
+/// Factory for every method.
+[[nodiscard]] std::unique_ptr<SpmvKernel> make_kernel(Method m);
+
+/// Convenience: prepare + run + verify against the fp64 host reference.
+/// Returns the max absolute error scaled by a per-row tolerance; throws if
+/// the kernel produced out-of-tolerance results (used by tests and by every
+/// bench before timing, so no modeled number is ever reported for an
+/// incorrect kernel).
+struct VerifyResult {
+  double max_abs_err = 0;
+  double tolerance = 0;
+  [[nodiscard]] bool ok() const { return max_abs_err <= tolerance; }
+};
+
+VerifyResult verify_kernel(SpmvKernel& kernel, sim::Device& device, const mat::Csr& a,
+                           std::uint64_t x_seed = 42);
+
+/// Mixed-precision error tolerance for a matrix: half-precision methods
+/// accumulate in fp32 from binary16 inputs, so the bound scales with the
+/// maximum row nnz and the value magnitudes.
+double spmv_tolerance(const mat::Csr& a, bool half_precision_values);
+
+}  // namespace spaden::kern

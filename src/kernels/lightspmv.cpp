@@ -1,0 +1,97 @@
+// LightSpMV stand-in [Liu & Schmidt, ASAP'15].
+//
+// CSR vector kernel with *dynamic* row distribution: a persistent grid of
+// warps repeatedly claims the next batch of rows from a global atomic
+// counter, which is LightSpMV's contribution for imbalanced matrices. The
+// cost of that flexibility — one global atomic round-trip per batch during
+// which the warp cannot prefetch its next rows — is charged explicitly.
+// LightSpMV predates the vectorized-load paths of modern cuSPARSE, so rows
+// are always processed with full 32-lane vectors (its warp-level kernel).
+#include "kernels/formats_device.hpp"
+#include "kernels/internal.hpp"
+
+namespace spaden::kern {
+
+namespace {
+
+/// Lane-op charge representing the exposed latency of the work-stealing
+/// atomic (a few hundred cycles during which the warp is stalled).
+constexpr std::uint64_t kDynamicFetchStall = 64;
+
+class LightSpmvKernel final : public SpmvKernel {
+ public:
+  [[nodiscard]] Method method() const override { return Method::LightSpmv; }
+
+  void do_prepare(sim::Device& device, const mat::Csr& a) override {
+    csr_ = DeviceCsr::upload(device.memory(), a);
+    row_counter_ = device.memory().alloc<std::uint32_t>(1);
+  }
+
+  sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
+                        sim::DSpan<float> y) override {
+    SPADEN_REQUIRE(x.size == ncols_ && y.size == nrows_, "x/y size mismatch");
+    const auto row_ptr = csr_.row_ptr.cspan();
+    const auto col_idx = csr_.col_idx.cspan();
+    const auto val = csr_.val.cspan();
+    const mat::Index nrows = nrows_;
+    auto counter = row_counter_.span();
+    counter[0] = 0;
+
+    // Persistent kernel: a fixed grid of warps loops over dynamic batches.
+    const std::uint64_t grid_warps =
+        std::min<std::uint64_t>(nrows, static_cast<std::uint64_t>(device.spec().sm_count) *
+                                           static_cast<std::uint64_t>(16));
+    return device.launch("lightspmv", grid_warps, [&](sim::WarpCtx& ctx, std::uint64_t) {
+      while (true) {
+        // Warp-level dynamic distribution: claim one row per warp iteration.
+        const std::uint32_t row = ctx.atomic_fetch_add(counter, 0, 1);
+        ctx.charge(sim::OpClass::IntAlu, kDynamicFetchStall);
+        if (row >= nrows) {
+          return;
+        }
+        const auto begin = ctx.scalar_load(row_ptr, row);
+        const auto end = ctx.scalar_load(row_ptr, row + 1);
+        sim::Lanes<float> acc{};
+        for (std::uint32_t base = begin; base < end; base += sim::kWarpSize) {
+          std::uint32_t mask = 0;
+          sim::Lanes<std::uint32_t> idx{};
+          for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+            if (base + lane < end) {
+              idx[lane] = base + lane;
+              mask |= 1u << lane;
+            }
+          }
+          ctx.charge(sim::OpClass::Branch, sim::kWarpSize);
+          const auto cols = ctx.gather(col_idx, idx, mask);
+          const auto vals = ctx.gather(val, idx, mask);
+          const auto xv = ctx.gather(x, cols, mask);
+          for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+            if ((mask >> lane) & 1u) {
+              acc[lane] += vals[lane] * xv[lane];
+            }
+          }
+          ctx.charge(sim::OpClass::Fma, sim::active_lanes(mask));
+        }
+        const float sum = ctx.reduce_add(acc);
+        ctx.scalar_store(y, row, sum);
+      }
+    });
+  }
+
+  [[nodiscard]] Footprint footprint() const override {
+    Footprint fp;
+    csr_.add_footprint(fp);
+    fp.add("light.row_counter", row_counter_.bytes());
+    return fp;
+  }
+
+ private:
+  DeviceCsr csr_;
+  sim::Buffer<std::uint32_t> row_counter_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpmvKernel> make_lightspmv() { return std::make_unique<LightSpmvKernel>(); }
+
+}  // namespace spaden::kern

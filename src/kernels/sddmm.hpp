@@ -1,0 +1,44 @@
+// Sampled dense-dense matrix multiplication (SDDMM):
+//   out[k] = (U * V^T)[i, j]  for each structural nonzero (i, j) of S,
+// the other §7 future-work operation. SDDMM is the backward companion of
+// SpMM in GNN training and the score computation of sparse attention.
+//
+// The bitBSR pattern drives the computation: a warp owns one 8x8 block,
+// streams 16-deep tiles of U and V through a fragment (U rows on the A
+// side, V rows transposed on the B side), and scatters the bitmap-selected
+// entries of the 8x8 product into the packed output — the same
+// register-level fragment control as the SpMV kernel, with the bitmap now
+// acting as the output mask instead of the input mask.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+
+namespace spaden::kern {
+
+struct SddmmResult {
+  /// One value per structural nonzero of the pattern, in CSR order.
+  std::vector<float> values;
+  sim::LaunchResult launch;
+  [[nodiscard]] double gflops(std::size_t nnz, mat::Index depth) const {
+    return 2.0 * static_cast<double>(nnz) * depth / launch.seconds() / 1e9;
+  }
+};
+
+/// CUDA-core baseline: one warp per pattern row; lanes parallelize the dot
+/// product over the depth dimension, fp32 throughout.
+SddmmResult sddmm_csr(sim::Device& device, const mat::Csr& pattern, const mat::Dense& u,
+                      const mat::Dense& v);
+
+/// Tensor-core bitBSR SDDMM: one warp per non-empty 8x8 block; U/V tiles in
+/// binary16, accumulation in fp32.
+SddmmResult sddmm_spaden(sim::Device& device, const mat::Csr& pattern, const mat::Dense& u,
+                         const mat::Dense& v);
+
+/// Error bound vs the fp64 reference (scales with the depth dimension).
+double sddmm_tolerance(mat::Index depth, bool half_precision_values);
+
+}  // namespace spaden::kern

@@ -1,0 +1,252 @@
+// Spaden's pairing SpMV kernel (paper §4.3) and its CUDA-core ablation
+// variant "Spaden w/o TC" (§5.3).
+//
+// Each warp owns two consecutive block-rows. Per iteration it decodes one
+// bitBSR block from each block-row (Algorithm 2), writes the decoded
+// elements *directly into the tensor-core fragment registers* — the
+// top-left portion via x[0], x[1] and the bottom-right portion via x[6],
+// x[7], per the reverse-engineered layout of §3 — broadcasts the two
+// x-segments into fragment B column-wise, and issues one m16n16k16 MMA
+// (Algorithm 3). After the block loop, the first column of each diagonal
+// result block is extracted into y (Algorithm 4): 16 output rows per warp
+// per pass, double DASP's throughput.
+//
+// The w/o-TC variant shares the decode but multiplies on CUDA cores,
+// isolating the bitBSR-format contribution from the tensor-core
+// contribution in the Fig. 8 breakdown.
+#include "common/bitops.hpp"
+#include "kernels/bitbsr_decode.hpp"
+#include "kernels/formats_device.hpp"
+#include "kernels/internal.hpp"
+#include "tensorcore/wmma.hpp"
+
+namespace spaden::kern {
+
+namespace {
+
+/// Per-lane decode of one bitBSR block + its x segment (Algorithm 2).
+struct DecodedSlot {
+  sim::Lanes<half> a_val1;   ///< element at bit 2*lid
+  sim::Lanes<half> a_val2;   ///< element at bit 2*lid + 1
+  sim::Lanes<float> b_val1;  ///< x[seg*8 + 2*(lid%4)]
+  sim::Lanes<float> b_val2;  ///< x[seg*8 + 2*(lid%4) + 1]
+};
+
+class SpadenKernel final : public SpmvKernel {
+ public:
+  explicit SpadenKernel(SpadenVariant variant)
+      : variant_(variant), use_tc_(variant != SpadenVariant::NoTensorCore) {}
+
+  [[nodiscard]] Method method() const override {
+    switch (variant_) {
+      case SpadenVariant::TensorCore:
+        return Method::Spaden;
+      case SpadenVariant::NoTensorCore:
+        return Method::SpadenNoTc;
+      case SpadenVariant::Conventional:
+        return Method::SpadenConventional;
+      case SpadenVariant::Unpaired:
+        return Method::SpadenUnpaired;
+    }
+    return Method::Spaden;
+  }
+
+  void do_prepare(sim::Device& device, const mat::Csr& a) override {
+    const mat::BitBsr bb = mat::BitBsr::from_csr(a);
+    bitbsr_ = DeviceBitBsr::upload(device.memory(), bb);
+  }
+
+  sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
+                        sim::DSpan<float> y) override {
+    SPADEN_REQUIRE(x.size == ncols_ && y.size == nrows_, "x/y size mismatch");
+    const auto block_row_ptr = bitbsr_.block_row_ptr.cspan();
+    const mat::Index brows = bitbsr_.brows;
+    const mat::Index nrows = nrows_;
+    const mat::Index ncols = ncols_;
+
+    // One warp per pair of block-rows: the fragment hosts two 8x8 blocks
+    // placed diagonally (paper Fig. 5). The Unpaired ablation uses one
+    // block-row per warp instead (top-left portion only).
+    const bool paired = variant_ != SpadenVariant::Unpaired;
+    const std::uint64_t warps = paired ? (brows + 1) / 2 : brows;
+    return device.launch(std::string(name()), warps,
+                         [&](sim::WarpCtx& ctx, std::uint64_t w) {
+      const auto r1 = static_cast<mat::Index>(paired ? 2 * w : w);
+      const auto r2 = static_cast<mat::Index>(paired ? 2 * w + 1 : brows);
+      const mat::Index begin1 = ctx.scalar_load(block_row_ptr, r1);
+      const mat::Index end1 = ctx.scalar_load(block_row_ptr, r1 + 1);
+      const bool has_r2 = paired && r2 < brows;
+      const mat::Index begin2 = has_r2 ? ctx.scalar_load(block_row_ptr, r2) : 0;
+      const mat::Index end2 = has_r2 ? ctx.scalar_load(block_row_ptr, r2 + 1) : 0;
+      const mat::Index len1 = end1 - begin1;
+      const mat::Index len2 = end2 - begin2;
+      const mat::Index iterations = std::max(len1, len2);
+
+      tc::FragA a_frag;
+      tc::FragB b_frag;
+      tc::FragAcc acc_frag;  // zero-initialized (wmma::fill_fragment(.., 0))
+      // CUDA-core accumulators for the w/o-TC variant: lane l accumulates
+      // block row l/4 of each slot.
+      sim::Lanes<float> cuda_acc1{};
+      sim::Lanes<float> cuda_acc2{};
+
+      for (mat::Index j = 0; j < iterations; ++j) {
+        // Slot 0: block j of block-row r1 -> top-left portion, regs x[0,1].
+        // Slot 1: block j of block-row r2 -> bottom-right, regs x[6,7].
+        for (int slot = 0; slot < 2; ++slot) {
+          const bool valid = slot == 0 ? (j < len1) : (j < len2);
+          const unsigned reg0 = slot == 0 ? 0 : 6;
+          if (!valid) {
+            // Fill the A portion with zeros (computed, not loaded — the
+            // register-level control §4.3.3 credits for memory efficiency).
+            for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+              a_frag.x(lane, reg0) = half{};
+              a_frag.x(lane, reg0 + 1) = half{};
+            }
+            ctx.charge(sim::OpClass::RegMove, 2 * sim::kWarpSize);
+            continue;
+          }
+          const mat::Index a_idx = (slot == 0 ? begin1 : begin2) + j;
+          const DecodedSlot dec = decode(ctx, x, ncols, a_idx);
+          if (use_tc_) {
+            // Algorithm 3 lines 6-7: direct register writes.
+            for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+              a_frag.x(lane, reg0) = dec.a_val1[lane];
+              a_frag.x(lane, reg0 + 1) = dec.a_val2[lane];
+              b_frag.x(lane, reg0) = half(dec.b_val1[lane]);
+              b_frag.x(lane, reg0 + 1) = half(dec.b_val2[lane]);
+            }
+            ctx.charge(sim::OpClass::RegMove, 4 * sim::kWarpSize);
+            ctx.charge(sim::OpClass::Convert, 2 * sim::kWarpSize);
+          } else {
+            // CUDA-core path: each lane multiplies its two decoded elements
+            // with the matching x entries.
+            auto& acc = slot == 0 ? cuda_acc1 : cuda_acc2;
+            for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+              acc[lane] += dec.a_val1[lane].to_float() * dec.b_val1[lane] +
+                           dec.a_val2[lane].to_float() * dec.b_val2[lane];
+            }
+            ctx.charge(sim::OpClass::Fma, 2 * sim::kWarpSize);
+          }
+        }
+        if (use_tc_) {
+          if (variant_ == SpadenVariant::Conventional) {
+            // The documented path (paper §3): both fragments staged through
+            // a 256-element shared-memory buffer and loaded with
+            // wmma::load. Numerically identical to the direct writes above;
+            // the cost is the full-buffer round trip — including explicitly
+            // storing every zero the direct path computes in-register.
+            constexpr std::uint64_t kElems = tc::kFragDim * tc::kFragDim;
+            for (int frag = 0; frag < 2; ++frag) {
+              ctx.charge(sim::OpClass::IntAlu, kElems);   // st.shared
+              ctx.charge(sim::OpClass::IntAlu, kElems);   // ld.shared
+              ctx.charge(sim::OpClass::RegMove, kElems);  // fragment fill
+            }
+          }
+          tc::wmma_mma(ctx, acc_frag, a_frag, b_frag, acc_frag);
+        }
+      }
+
+      // Algorithm 4: extract the first column of both diagonal result
+      // blocks (TC), or reduce the per-lane partials across the 4 lanes of
+      // each block row (CUDA cores).
+      sim::Lanes<float> out1{};
+      sim::Lanes<float> out2{};
+      if (use_tc_) {
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          if (lane % 4 == 0) {
+            out1[lane] = acc_frag.x(lane, 0);
+            out2[lane] = acc_frag.x(lane, 6);
+          }
+        }
+        ctx.charge(sim::OpClass::RegMove, 16);
+      } else {
+        for (unsigned delta = 2; delta > 0; delta /= 2) {
+          sim::Lanes<std::uint32_t> src{};
+          for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+            src[lane] = lane ^ delta;
+          }
+          const auto o1 = ctx.shfl(cuda_acc1, src);
+          const auto o2 = ctx.shfl(cuda_acc2, src);
+          for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+            cuda_acc1[lane] += o1[lane];
+            cuda_acc2[lane] += o2[lane];
+          }
+          ctx.charge(sim::OpClass::FpAlu, 2 * sim::kWarpSize);
+        }
+        out1 = cuda_acc1;
+        out2 = cuda_acc2;
+      }
+
+      // Store 8 + 8 results from lanes 0, 4, ..., 28 (Algorithm 4 lines
+      // 4-8: lid % 4 == 0, offset row*BLOCK_DIM + lid/4).
+      sim::Lanes<std::uint32_t> yidx1{};
+      sim::Lanes<std::uint32_t> yidx2{};
+      std::uint32_t mask1 = 0;
+      std::uint32_t mask2 = 0;
+      for (unsigned lane = 0; lane < sim::kWarpSize; lane += 4) {
+        const std::uint32_t row1 = r1 * 8 + lane / 4;
+        if (row1 < nrows) {
+          yidx1[lane] = row1;
+          mask1 |= 1u << lane;
+        }
+        if (has_r2) {
+          const std::uint32_t row2 = r2 * 8 + lane / 4;
+          if (row2 < nrows) {
+            yidx2[lane] = row2;
+            mask2 |= 1u << lane;
+          }
+        }
+      }
+      ctx.charge(sim::OpClass::IntAlu, 16);
+      ctx.scatter(y, yidx1, out1, mask1);
+      if (mask2 != 0) {
+        ctx.scatter(y, yidx2, out2, mask2);
+      }
+    });
+  }
+
+  [[nodiscard]] Footprint footprint() const override {
+    Footprint fp;
+    bitbsr_.add_footprint(fp);
+    return fp;
+  }
+
+ private:
+  /// Algorithm 2: shared matrix decode plus the kernel's vector decode
+  /// (lines 7-10 — the x segment, broadcast so each column of the B portion
+  /// equals the segment).
+  DecodedSlot decode(sim::WarpCtx& ctx, sim::DSpan<const float> x, mat::Index ncols,
+                     mat::Index a_idx) {
+    DecodedSlot out{};
+    const DecodedBlock block = decode_bitbsr_block(ctx, bitbsr_, a_idx);
+    out.a_val1 = block.a_val1;
+    out.a_val2 = block.a_val2;
+
+    // Indices are clamped at the matrix edge; out-of-range columns only
+    // multiply structural zeros.
+    sim::Lanes<std::uint32_t> xidx1{};
+    sim::Lanes<std::uint32_t> xidx2{};
+    for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+      const std::uint32_t b_pos1 = (lane & 3u) << 1;
+      xidx1[lane] = std::min(block.block_col * 8 + b_pos1, ncols - 1);
+      xidx2[lane] = std::min(block.block_col * 8 + b_pos1 + 1, ncols - 1);
+    }
+    ctx.charge(sim::OpClass::IntAlu, 2 * sim::kWarpSize);
+    out.b_val1 = ctx.gather(x, xidx1);
+    out.b_val2 = ctx.gather(x, xidx2);
+    return out;
+  }
+
+  SpadenVariant variant_;
+  bool use_tc_;
+  DeviceBitBsr bitbsr_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpmvKernel> make_spaden(SpadenVariant variant) {
+  return std::make_unique<SpadenKernel>(variant);
+}
+
+}  // namespace spaden::kern

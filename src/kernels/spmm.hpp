@@ -1,0 +1,40 @@
+// Sparse matrix - dense matrix multiplication (SpMM), C = A * B.
+//
+// The paper's §7 names SpMM as the next target for bitBSR on dense matrix
+// units; this module implements that extension. With a dense right-hand
+// side, every 8x8 bitBSR block multiplies a full 8-column B tile, lifting
+// the tensor-core utilization from SpMV's 2 useful columns per fragment to
+// all 16 — the economics that make TC-SpMM far easier than TC-SpMV (§1).
+//
+// Two device kernels are provided:
+//   spmm_csr    — row-parallel CUDA-core baseline (cusparse csrmm-style)
+//   spmm_spaden — bitBSR blocks decoded straight into fragment registers,
+//                 one m16n16k16 MMA per block pair per 8-column tile
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+
+namespace spaden::kern {
+
+struct SpmmResult {
+  mat::Dense c;
+  sim::LaunchResult launch;
+  [[nodiscard]] double gflops(std::size_t nnz, mat::Index k) const {
+    return 2.0 * static_cast<double>(nnz) * k / launch.seconds() / 1e9;
+  }
+};
+
+/// CUDA-core baseline: one warp per (row, 32-column tile of B); B rows are
+/// read coalesced, fp32 throughout.
+SpmmResult spmm_csr(sim::Device& device, const mat::Csr& a, const mat::Dense& b);
+
+/// Tensor-core bitBSR SpMM: one warp per (block-row pair, 8-column tile);
+/// values in binary16, accumulation in fp32.
+SpmmResult spmm_spaden(sim::Device& device, const mat::Csr& a, const mat::Dense& b);
+
+/// Error bound for comparing an SpMM result against the fp64 reference.
+double spmm_tolerance(const mat::Csr& a, bool half_precision_values);
+
+}  // namespace spaden::kern

@@ -1,0 +1,68 @@
+// bitBSR — the paper's bitmap-based blocked format (§4.2, Figure 4).
+//
+// Like BSR, the matrix is tiled into 8x8 blocks whose positions are encoded
+// CSR-style over the block grid. Unlike BSR, a block's sparsity pattern is
+// one 64-bit bitmap: bit (r*8 + c) is set iff element (r, c) is nonzero,
+// with the least-significant bit at the top-left and the most-significant at
+// the bottom-right. Only the nonzero values are stored — consecutively per
+// block, in bitmap (row-major) order, as binary16 because the tensor-core
+// MMA consumes half inputs. `val_offset` is the exclusive scan of per-block
+// nonzero counts, so block b's values start at values[val_offset[b]] and an
+// element's slot within the block is the prefix popcount of its bit.
+//
+// Compression: where COO spends 64 bits (two 32-bit indices) per nonzero on
+// position, the bitmap spends 64 bits per *block*, i.e. 1-64x less depending
+// on fill (paper §4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+#include "matrix/bsr.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden::mat {
+
+struct BitBsr {
+  Index nrows = 0;
+  Index ncols = 0;
+  Index block_dim = 8;  ///< fixed at 8 so one block fits a 64-bit bitmap
+  Index brows = 0;
+  Index bcols = 0;
+  std::vector<Index> block_row_ptr;      ///< brows + 1
+  std::vector<Index> block_col;          ///< num_blocks
+  std::vector<std::uint64_t> bitmap;     ///< num_blocks
+  std::vector<Index> val_offset;         ///< num_blocks + 1 (exclusive scan)
+  std::vector<half> values;              ///< nnz, binary16
+
+  [[nodiscard]] std::size_t num_blocks() const { return block_col.size(); }
+  [[nodiscard]] std::size_t nnz() const { return values.size(); }
+
+  /// Table 1 statistics: Bnrow is the block-grid row count, Bnnz the
+  /// non-empty block count.
+  [[nodiscard]] Index bnrow() const { return brows; }
+  [[nodiscard]] std::size_t bnnz() const { return num_blocks(); }
+
+  /// Structural invariants, including bitmap/val_offset consistency
+  /// (popcount(bitmap[b]) == val_offset[b+1] - val_offset[b]).
+  void validate() const;
+
+  /// The conversion pipeline of Figure 4. Values are rounded to binary16.
+  [[nodiscard]] static BitBsr from_csr(const Csr& a);
+
+  /// Decompress (values widened back to fp32). Round-trips structure
+  /// exactly; values round-trip up to binary16 rounding.
+  [[nodiscard]] Csr to_csr() const;
+
+  /// Materialize the dense blocks (bitBSR -> BSR), the inverse of the
+  /// compression step.
+  [[nodiscard]] Bsr to_bsr() const;
+
+  /// Device-resident footprint in bytes (all arrays).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+};
+
+std::vector<float> spmv_host(const BitBsr& a, const std::vector<float>& x);
+
+}  // namespace spaden::mat

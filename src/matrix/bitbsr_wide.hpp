@@ -1,0 +1,60 @@
+// bitBSR16 — the 16x16-block variant of the bitmap format, with a
+// four-word (256-bit) bitmap per block.
+//
+// The paper fixes 8x8 blocks because one block then fits a native 64-bit
+// integer and two blocks tile an m16n16k16 fragment (§4.2). Larger dense
+// matrix units (e.g. m16n16k16 used whole, or Hopper's larger MMA shapes)
+// make a 16x16 block the natural unit: one block per fragment, no pairing
+// needed. This module implements that design point for the block-size
+// ablation — including the multi-word prefix-popcount addressing the wider
+// bitmap requires — and as groundwork for wider-fragment hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden::mat {
+
+struct BitBsr16 {
+  static constexpr Index kDim = 16;
+  static constexpr unsigned kWords = 4;  ///< 256 bits = 4 x uint64
+
+  using Bitmap = std::array<std::uint64_t, kWords>;
+
+  Index nrows = 0;
+  Index ncols = 0;
+  Index brows = 0;
+  Index bcols = 0;
+  std::vector<Index> block_row_ptr;  ///< brows + 1
+  std::vector<Index> block_col;      ///< num_blocks
+  std::vector<Bitmap> bitmap;        ///< num_blocks; bit (r*16 + c), LSB-first
+  std::vector<Index> val_offset;     ///< num_blocks + 1
+  std::vector<half> values;          ///< nnz, packed per block in bit order
+
+  [[nodiscard]] std::size_t num_blocks() const { return bitmap.size(); }
+  [[nodiscard]] std::size_t nnz() const { return values.size(); }
+
+  void validate() const;
+
+  [[nodiscard]] static BitBsr16 from_csr(const Csr& a);
+  [[nodiscard]] Csr to_csr() const;
+
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+  // --- multi-word bitmap helpers (the 256-bit analogues of bitops.hpp) ---
+  [[nodiscard]] static bool test(const Bitmap& b, unsigned pos) {
+    return (b[pos / 64] >> (pos % 64)) & 1u;
+  }
+  static void set(Bitmap& b, unsigned pos) { b[pos / 64] |= std::uint64_t{1} << (pos % 64); }
+  [[nodiscard]] static int popcount(const Bitmap& b);
+  /// Set bits strictly below `pos` — the packed-value rank.
+  [[nodiscard]] static int prefix_popcount(const Bitmap& b, unsigned pos);
+};
+
+std::vector<float> spmv_host(const BitBsr16& a, const std::vector<float>& x);
+
+}  // namespace spaden::mat

@@ -1,0 +1,103 @@
+#include "matrix/bitcoo.hpp"
+
+#include <bit>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace spaden::mat {
+
+void BitCoo::validate() const {
+  SPADEN_REQUIRE(block_dim == 8, "bitCOO requires 8x8 blocks, got %u", block_dim);
+  SPADEN_REQUIRE(block_row.size() == num_blocks() && block_col.size() == num_blocks(),
+                 "coordinate arrays disagree with bitmap count");
+  SPADEN_REQUIRE(val_offset.size() == num_blocks() + 1, "val_offset size mismatch");
+  SPADEN_REQUIRE(val_offset.front() == 0 && val_offset.back() == nnz(),
+                 "val_offset bounds mismatch");
+  const Index brows = ceil_div<Index>(nrows, block_dim);
+  const Index bcols = ceil_div<Index>(ncols, block_dim);
+  for (std::size_t b = 0; b < num_blocks(); ++b) {
+    SPADEN_REQUIRE(block_row[b] < brows && block_col[b] < bcols,
+                   "block %zu coordinates out of range", b);
+    SPADEN_REQUIRE(bitmap[b] != 0, "block %zu is empty", b);
+    SPADEN_REQUIRE(static_cast<Index>(std::popcount(bitmap[b])) ==
+                       val_offset[b + 1] - val_offset[b],
+                   "block %zu: popcount/value-count mismatch", b);
+    if (b > 0) {
+      SPADEN_REQUIRE(block_row[b - 1] < block_row[b] ||
+                         (block_row[b - 1] == block_row[b] && block_col[b - 1] < block_col[b]),
+                     "blocks not sorted by (row, col) at %zu", b);
+    }
+  }
+}
+
+BitCoo BitCoo::from_csr(const Csr& a) { return from_bitbsr(BitBsr::from_csr(a)); }
+
+BitCoo BitCoo::from_bitbsr(const BitBsr& b) {
+  BitCoo out;
+  out.nrows = b.nrows;
+  out.ncols = b.ncols;
+  out.block_dim = b.block_dim;
+  out.block_col = b.block_col;
+  out.bitmap = b.bitmap;
+  out.val_offset = b.val_offset;
+  out.values = b.values;
+  out.block_row.reserve(b.num_blocks());
+  for (Index br = 0; br < b.brows; ++br) {
+    for (Index i = b.block_row_ptr[br]; i < b.block_row_ptr[br + 1]; ++i) {
+      out.block_row.push_back(br);
+    }
+  }
+  return out;
+}
+
+BitBsr BitCoo::to_bitbsr() const {
+  BitBsr out;
+  out.nrows = nrows;
+  out.ncols = ncols;
+  out.block_dim = block_dim;
+  out.brows = ceil_div<Index>(nrows, block_dim);
+  out.bcols = ceil_div<Index>(ncols, block_dim);
+  out.block_row_ptr.assign(static_cast<std::size_t>(out.brows) + 1, 0);
+  for (const Index br : block_row) {
+    ++out.block_row_ptr[br + 1];
+  }
+  for (Index br = 0; br < out.brows; ++br) {
+    out.block_row_ptr[br + 1] += out.block_row_ptr[br];
+  }
+  // Blocks are sorted (row, col), so the payload copies through unchanged.
+  out.block_col = block_col;
+  out.bitmap = bitmap;
+  out.val_offset = val_offset;
+  out.values = values;
+  return out;
+}
+
+Csr BitCoo::to_csr() const { return to_bitbsr().to_csr(); }
+
+std::size_t BitCoo::footprint_bytes() const {
+  return block_row.size() * sizeof(Index) + block_col.size() * sizeof(Index) +
+         bitmap.size() * sizeof(std::uint64_t) + val_offset.size() * sizeof(Index) +
+         values.size() * sizeof(half);
+}
+
+std::vector<float> spmv_host(const BitCoo& a, const std::vector<float>& x) {
+  SPADEN_REQUIRE(x.size() == a.ncols, "x size %zu != ncols %u", x.size(), a.ncols);
+  std::vector<float> y(a.nrows, 0.0f);
+  for (std::size_t b = 0; b < a.num_blocks(); ++b) {
+    const Index row_base = a.block_row[b] * a.block_dim;
+    const Index col_base = a.block_col[b] * a.block_dim;
+    Index slot = a.val_offset[b];
+    const std::uint64_t bmp = a.bitmap[b];
+    for (unsigned pos = 0; pos < 64; ++pos) {
+      if (test_bit(bmp, pos)) {
+        y[row_base + pos / a.block_dim] +=
+            a.values[slot].to_float() * x[col_base + pos % a.block_dim];
+        ++slot;
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace spaden::mat

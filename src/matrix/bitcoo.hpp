@@ -1,0 +1,52 @@
+// bitCOO — the paper's §7 future-work extension of the bitmap-blocking
+// technique to the COO format.
+//
+// Where bitBSR indexes non-empty 8x8 blocks CSR-style over the block grid,
+// bitCOO stores them as coordinate pairs (block_row, block_col), one 64-bit
+// bitmap and the packed binary16 values per block. The coordinate layout
+// trades bitBSR's O(1) block-row lookup for order-independence: blocks can
+// be streamed in any order, processed edge-parallel (Gunrock-style at block
+// granularity), and appended incrementally — the same trade-offs COO makes
+// against CSR, lifted to block level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+#include "matrix/bitbsr.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden::mat {
+
+struct BitCoo {
+  Index nrows = 0;
+  Index ncols = 0;
+  Index block_dim = 8;
+  std::vector<Index> block_row;       ///< num_blocks, sorted (row, col)
+  std::vector<Index> block_col;       ///< num_blocks
+  std::vector<std::uint64_t> bitmap;  ///< num_blocks
+  std::vector<Index> val_offset;      ///< num_blocks + 1 (exclusive scan)
+  std::vector<half> values;           ///< nnz, packed in bitmap order
+
+  [[nodiscard]] std::size_t num_blocks() const { return bitmap.size(); }
+  [[nodiscard]] std::size_t nnz() const { return values.size(); }
+
+  void validate() const;
+
+  [[nodiscard]] static BitCoo from_csr(const Csr& a);
+  /// Structural round trip is exact; values carry binary16 rounding.
+  [[nodiscard]] Csr to_csr() const;
+
+  /// bitBSR <-> bitCOO conversions are cheap: the per-block payload
+  /// (bitmap, packed values) is byte-identical; only the position index
+  /// changes shape.
+  [[nodiscard]] static BitCoo from_bitbsr(const BitBsr& b);
+  [[nodiscard]] BitBsr to_bitbsr() const;
+
+  [[nodiscard]] std::size_t footprint_bytes() const;
+};
+
+std::vector<float> spmv_host(const BitCoo& a, const std::vector<float>& x);
+
+}  // namespace spaden::mat

@@ -1,0 +1,39 @@
+#include "matrix/block_stats.hpp"
+
+#include <bit>
+
+namespace spaden::mat {
+
+double BlockStats::avg_block_nnz() const {
+  if (num_blocks == 0) {
+    return 0.0;
+  }
+  std::size_t total = 0;
+  for (std::size_t n = 0; n < nnz_histogram.size(); ++n) {
+    total += n * nnz_histogram[n];
+  }
+  return static_cast<double>(total) / static_cast<double>(num_blocks);
+}
+
+BlockStats compute_block_stats(const BitBsr& m) {
+  BlockStats s;
+  s.num_blocks = m.num_blocks();
+  for (const std::uint64_t bmp : m.bitmap) {
+    const int n = std::popcount(bmp);
+    ++s.nnz_histogram[static_cast<std::size_t>(n)];
+    switch (categorize_block(n)) {
+      case BlockCategory::Sparse:
+        ++s.sparse_blocks;
+        break;
+      case BlockCategory::Medium:
+        ++s.medium_blocks;
+        break;
+      case BlockCategory::Dense:
+        ++s.dense_blocks;
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace spaden::mat

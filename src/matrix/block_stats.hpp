@@ -1,0 +1,56 @@
+// Block-fill statistics — paper §5.4 and Figure 9a.
+//
+// After conversion to bitBSR, 8x8 blocks are categorized by their nonzero
+// count: sparse (nnz <= 32), medium (33 <= nnz <= 48), dense (nnz > 48).
+// The ratio of sparse blocks is the structural predictor the paper
+// correlates with Spaden's speedup over cuSPARSE BSR (Figure 9b).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "matrix/bitbsr.hpp"
+
+namespace spaden::mat {
+
+enum class BlockCategory { Sparse, Medium, Dense };
+
+/// Category thresholds from paper §5.4.
+[[nodiscard]] constexpr BlockCategory categorize_block(int block_nnz) {
+  if (block_nnz <= 32) {
+    return BlockCategory::Sparse;
+  }
+  if (block_nnz <= 48) {
+    return BlockCategory::Medium;
+  }
+  return BlockCategory::Dense;
+}
+
+struct BlockStats {
+  std::size_t num_blocks = 0;
+  std::size_t sparse_blocks = 0;  ///< nnz <= 32
+  std::size_t medium_blocks = 0;  ///< 33..48
+  std::size_t dense_blocks = 0;   ///< > 48
+  std::array<std::size_t, 65> nnz_histogram{};  ///< index = per-block nnz
+
+  [[nodiscard]] double sparse_ratio() const {
+    return num_blocks == 0 ? 0.0
+                           : static_cast<double>(sparse_blocks) /
+                                 static_cast<double>(num_blocks);
+  }
+  [[nodiscard]] double medium_ratio() const {
+    return num_blocks == 0 ? 0.0
+                           : static_cast<double>(medium_blocks) /
+                                 static_cast<double>(num_blocks);
+  }
+  [[nodiscard]] double dense_ratio() const {
+    return num_blocks == 0 ? 0.0
+                           : static_cast<double>(dense_blocks) /
+                                 static_cast<double>(num_blocks);
+  }
+  [[nodiscard]] double avg_block_nnz() const;
+};
+
+BlockStats compute_block_stats(const BitBsr& m);
+
+}  // namespace spaden::mat

@@ -1,0 +1,47 @@
+// Compressed Sparse Row (CSR) format — paper §2.1.
+//
+// CSR is the canonical host-side representation: every kernel's `prepare`
+// step starts from CSR, mirroring how the paper's pipeline starts from the
+// SuiteSparse matrices in CSR and converts to each method's format.
+#pragma once
+
+#include <vector>
+
+#include "matrix/coo.hpp"
+
+namespace spaden::mat {
+
+struct Csr {
+  Index nrows = 0;
+  Index ncols = 0;
+  std::vector<Index> row_ptr;  ///< nrows + 1
+  std::vector<Index> col_idx;  ///< nnz, ascending within each row
+  std::vector<float> val;     ///< nnz
+
+  [[nodiscard]] std::size_t nnz() const { return val.size(); }
+  [[nodiscard]] Index row_nnz(Index r) const { return row_ptr[r + 1] - row_ptr[r]; }
+  [[nodiscard]] double avg_degree() const {
+    return nrows == 0 ? 0.0 : static_cast<double>(nnz()) / nrows;
+  }
+
+  /// Structural + ordering invariants; throws spaden::Error on violation.
+  void validate() const;
+
+  [[nodiscard]] static Csr from_coo(const Coo& coo);
+  [[nodiscard]] Coo to_coo() const;
+
+  /// A^T, used by tests and by push/pull graph examples.
+  [[nodiscard]] Csr transpose() const;
+
+  /// Exact structural and numerical equality.
+  friend bool operator==(const Csr&, const Csr&) = default;
+};
+
+/// y = A*x in double precision — the numerical ground truth every kernel is
+/// verified against (Algorithm 1 of the paper, executed on the host).
+std::vector<double> spmv_reference(const Csr& a, const std::vector<float>& x);
+
+/// y = A*x in single precision on the host (CSR baseline semantics).
+std::vector<float> spmv_host(const Csr& a, const std::vector<float>& x);
+
+}  // namespace spaden::mat

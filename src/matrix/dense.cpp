@@ -1,0 +1,62 @@
+#include "matrix/dense.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spaden::mat {
+
+Dense Dense::transpose() const {
+  Dense out(ncols, nrows);
+  for (Index r = 0; r < nrows; ++r) {
+    for (Index c = 0; c < ncols; ++c) {
+      out.at(c, r) = at(r, c);
+    }
+  }
+  return out;
+}
+
+Dense random_dense(Index nrows, Index ncols, std::uint64_t seed) {
+  Dense out(nrows, ncols);
+  Rng rng(seed);
+  for (auto& v : out.data) {
+    v = rng.next_float(-1.0f, 1.0f);
+  }
+  return out;
+}
+
+Dense spmm_reference(const Csr& a, const Dense& b) {
+  SPADEN_REQUIRE(a.ncols == b.nrows, "SpMM shape mismatch: A is %ux%u, B is %ux%u", a.nrows,
+                 a.ncols, b.nrows, b.ncols);
+  Dense c(a.nrows, b.ncols);
+  for (Index r = 0; r < a.nrows; ++r) {
+    for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      const double av = a.val[i];
+      const Index k = a.col_idx[i];
+      for (Index j = 0; j < b.ncols; ++j) {
+        c.at(r, j) += static_cast<float>(av * static_cast<double>(b.at(k, j)));
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<float> sddmm_reference(const Csr& pattern, const Dense& u, const Dense& v) {
+  SPADEN_REQUIRE(u.nrows == pattern.nrows && v.nrows == pattern.ncols &&
+                     u.ncols == v.ncols,
+                 "SDDMM shape mismatch: pattern %ux%u, U %ux%u, V %ux%u", pattern.nrows,
+                 pattern.ncols, u.nrows, u.ncols, v.nrows, v.ncols);
+  std::vector<float> out(pattern.nnz());
+  for (Index r = 0; r < pattern.nrows; ++r) {
+    for (Index i = pattern.row_ptr[r]; i < pattern.row_ptr[r + 1]; ++i) {
+      const Index c = pattern.col_idx[i];
+      double dot = 0;
+      for (Index d = 0; d < u.ncols; ++d) {
+        dot += static_cast<double>(u.at(r, d)) * static_cast<double>(v.at(c, d));
+      }
+      out[i] = static_cast<float>(dot);
+    }
+  }
+  return out;
+}
+
+}  // namespace spaden::mat

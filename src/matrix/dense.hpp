@@ -1,0 +1,46 @@
+// Row-major dense matrices — the right-hand side of SpMM and the factor
+// matrices of SDDMM (the paper's §7 future-work operations, implemented
+// here as the natural extension of bitBSR to multi-column workloads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace spaden::mat {
+
+struct Dense {
+  Index nrows = 0;
+  Index ncols = 0;
+  std::vector<float> data;  ///< row-major: (r, c) at r*ncols + c
+
+  Dense() = default;
+  Dense(Index rows, Index cols, float fill = 0.0f)
+      : nrows(rows), ncols(cols),
+        data(static_cast<std::size_t>(rows) * cols, fill) {}
+
+  [[nodiscard]] float& at(Index r, Index c) {
+    return data[static_cast<std::size_t>(r) * ncols + c];
+  }
+  [[nodiscard]] float at(Index r, Index c) const {
+    return data[static_cast<std::size_t>(r) * ncols + c];
+  }
+
+  [[nodiscard]] Dense transpose() const;
+
+  friend bool operator==(const Dense&, const Dense&) = default;
+};
+
+/// Uniform random dense matrix in [-1, 1), deterministic per seed.
+Dense random_dense(Index nrows, Index ncols, std::uint64_t seed);
+
+/// C = A * B in double precision (SpMM ground truth), C is nrows x B.ncols.
+Dense spmm_reference(const Csr& a, const Dense& b);
+
+/// SDDMM ground truth: out[k] = (U * V^T)[i, j] for the k-th structural
+/// nonzero (i, j) of `pattern`, in double precision. U is nrows x d, V is
+/// ncols x d.
+std::vector<float> sddmm_reference(const Csr& pattern, const Dense& u, const Dense& v);
+
+}  // namespace spaden::mat

@@ -1,0 +1,187 @@
+#include "matrix/ell.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace spaden::mat {
+
+Ell Ell::from_csr(const Csr& a) {
+  Ell out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  for (Index r = 0; r < a.nrows; ++r) {
+    out.width = std::max(out.width, a.row_nnz(r));
+  }
+  const std::size_t slots = static_cast<std::size_t>(out.nrows) * out.width;
+  out.col_idx.assign(slots, kPadCol);
+  out.val.assign(slots, 0.0f);
+  for (Index r = 0; r < a.nrows; ++r) {
+    Index k = 0;
+    for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i, ++k) {
+      const std::size_t slot = static_cast<std::size_t>(k) * out.nrows + r;
+      out.col_idx[slot] = a.col_idx[i];
+      out.val[slot] = a.val[i];
+    }
+  }
+  return out;
+}
+
+Csr Ell::to_csr() const {
+  Coo coo;
+  coo.nrows = nrows;
+  coo.ncols = ncols;
+  for (Index r = 0; r < nrows; ++r) {
+    for (Index k = 0; k < width; ++k) {
+      const std::size_t slot = static_cast<std::size_t>(k) * nrows + r;
+      if (col_idx[slot] != kPadCol) {
+        coo.row.push_back(r);
+        coo.col.push_back(col_idx[slot]);
+        coo.val.push_back(val[slot]);
+      }
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+double Ell::padding_ratio() const {
+  if (col_idx.empty()) {
+    return 0.0;
+  }
+  const auto padded = static_cast<double>(
+      std::count(col_idx.begin(), col_idx.end(), kPadCol));
+  return padded / static_cast<double>(col_idx.size());
+}
+
+std::vector<float> spmv_host(const Ell& a, const std::vector<float>& x) {
+  SPADEN_REQUIRE(x.size() == a.ncols, "x size %zu != ncols %u", x.size(), a.ncols);
+  std::vector<float> y(a.nrows, 0.0f);
+  for (Index k = 0; k < a.width; ++k) {
+    for (Index r = 0; r < a.nrows; ++r) {
+      const std::size_t slot = static_cast<std::size_t>(k) * a.nrows + r;
+      if (a.col_idx[slot] != Ell::kPadCol) {
+        y[r] += a.val[slot] * x[a.col_idx[slot]];
+      }
+    }
+  }
+  return y;
+}
+
+Hyb Hyb::from_csr(const Csr& a, Index ell_width) {
+  if (ell_width == 0) {
+    ell_width = static_cast<Index>(a.avg_degree() + 0.999);
+    ell_width = std::max<Index>(ell_width, 1);
+  }
+  // Build the truncated-ELL part directly.
+  Hyb out;
+  out.ell.nrows = a.nrows;
+  out.ell.ncols = a.ncols;
+  out.ell.width = ell_width;
+  const std::size_t slots = static_cast<std::size_t>(a.nrows) * ell_width;
+  out.ell.col_idx.assign(slots, Ell::kPadCol);
+  out.ell.val.assign(slots, 0.0f);
+  out.coo.nrows = a.nrows;
+  out.coo.ncols = a.ncols;
+  for (Index r = 0; r < a.nrows; ++r) {
+    Index k = 0;
+    for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i, ++k) {
+      if (k < ell_width) {
+        const std::size_t slot = static_cast<std::size_t>(k) * a.nrows + r;
+        out.ell.col_idx[slot] = a.col_idx[i];
+        out.ell.val[slot] = a.val[i];
+      } else {
+        out.coo.row.push_back(r);
+        out.coo.col.push_back(a.col_idx[i]);
+        out.coo.val.push_back(a.val[i]);
+      }
+    }
+  }
+  return out;
+}
+
+Csr Hyb::to_csr() const {
+  Coo merged = ell.to_csr().to_coo();
+  merged.row.insert(merged.row.end(), coo.row.begin(), coo.row.end());
+  merged.col.insert(merged.col.end(), coo.col.begin(), coo.col.end());
+  merged.val.insert(merged.val.end(), coo.val.begin(), coo.val.end());
+  merged.nrows = ell.nrows;
+  merged.ncols = ell.ncols;
+  return Csr::from_coo(merged);
+}
+
+std::vector<float> spmv_host(const Hyb& a, const std::vector<float>& x) {
+  std::vector<float> y = spmv_host(a.ell, x);
+  for (std::size_t i = 0; i < a.coo.nnz(); ++i) {
+    y[a.coo.row[i]] += a.coo.val[i] * x[a.coo.col[i]];
+  }
+  return y;
+}
+
+Dia Dia::from_csr(const Csr& a, std::size_t max_diagonals) {
+  // Collect populated diagonals in ascending offset order.
+  std::map<int, Index> diag_count;
+  for (Index r = 0; r < a.nrows; ++r) {
+    for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      ++diag_count[static_cast<int>(a.col_idx[i]) - static_cast<int>(r)];
+    }
+  }
+  SPADEN_REQUIRE(diag_count.size() <= max_diagonals,
+                 "matrix has %zu populated diagonals (max %zu) — DIA unsuitable",
+                 diag_count.size(), max_diagonals);
+  Dia out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.offsets.reserve(diag_count.size());
+  std::map<int, std::size_t> diag_slot;
+  for (const auto& [offset, count] : diag_count) {
+    diag_slot[offset] = out.offsets.size();
+    out.offsets.push_back(offset);
+    (void)count;
+  }
+  out.val.assign(out.offsets.size() * static_cast<std::size_t>(a.nrows), 0.0f);
+  for (Index r = 0; r < a.nrows; ++r) {
+    for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      const int offset = static_cast<int>(a.col_idx[i]) - static_cast<int>(r);
+      out.val[diag_slot[offset] * a.nrows + r] = a.val[i];
+    }
+  }
+  return out;
+}
+
+Csr Dia::to_csr() const {
+  Coo coo;
+  coo.nrows = nrows;
+  coo.ncols = ncols;
+  for (std::size_t d = 0; d < offsets.size(); ++d) {
+    for (Index r = 0; r < nrows; ++r) {
+      const long long c = static_cast<long long>(r) + offsets[d];
+      if (c < 0 || c >= static_cast<long long>(ncols)) {
+        continue;
+      }
+      const float v = val[d * nrows + r];
+      if (v != 0.0f) {
+        coo.row.push_back(r);
+        coo.col.push_back(static_cast<Index>(c));
+        coo.val.push_back(v);
+      }
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+std::vector<float> spmv_host(const Dia& a, const std::vector<float>& x) {
+  SPADEN_REQUIRE(x.size() == a.ncols, "x size %zu != ncols %u", x.size(), a.ncols);
+  std::vector<float> y(a.nrows, 0.0f);
+  for (std::size_t d = 0; d < a.offsets.size(); ++d) {
+    for (Index r = 0; r < a.nrows; ++r) {
+      const long long c = static_cast<long long>(r) + a.offsets[d];
+      if (c >= 0 && c < static_cast<long long>(a.ncols)) {
+        y[r] += a.val[d * a.nrows + r] * x[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace spaden::mat

@@ -1,0 +1,64 @@
+// ELLPACK (ELL) format — fixed number of entries per row, padded, stored
+// column-major so a warp reading one "slot" across 32 rows is coalesced.
+// Listed by the paper (§2.1) among the standard GPU SpMV formats; provided
+// for completeness of the format library and exercised by tests/examples.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace spaden::mat {
+
+struct Ell {
+  Index nrows = 0;
+  Index ncols = 0;
+  Index width = 0;  ///< max row nnz (padding width)
+  /// Column-major `nrows x width`: entry (r, k) at k*nrows + r. Padding
+  /// slots carry col = kPadCol and val = 0.
+  std::vector<Index> col_idx;
+  std::vector<float> val;
+
+  static constexpr Index kPadCol = ~Index{0};
+
+  [[nodiscard]] static Ell from_csr(const Csr& a);
+  [[nodiscard]] Csr to_csr() const;
+
+  /// Padded storage overhead: padded slots / total slots.
+  [[nodiscard]] double padding_ratio() const;
+};
+
+std::vector<float> spmv_host(const Ell& a, const std::vector<float>& x);
+
+/// HYB — hybrid ELL + COO: rows are stored in ELL up to `ell_width` entries,
+/// the overflow goes to COO. `ell_width` defaults to the average degree
+/// rounded up, the classic heuristic.
+struct Hyb {
+  Ell ell;
+  Coo coo;  ///< overflow entries
+
+  [[nodiscard]] static Hyb from_csr(const Csr& a, Index ell_width = 0);
+  [[nodiscard]] Csr to_csr() const;
+};
+
+std::vector<float> spmv_host(const Hyb& a, const std::vector<float>& x);
+
+/// DIA — diagonal format for banded matrices. Stores each populated diagonal
+/// densely; efficient only when the number of populated diagonals is small.
+struct Dia {
+  Index nrows = 0;
+  Index ncols = 0;
+  std::vector<int> offsets;  ///< diagonal offsets (col - row), ascending
+  /// `offsets.size() x nrows`, diagonal-major: entry for row r of diagonal d
+  /// at d*nrows + r. Out-of-band slots are 0.
+  std::vector<float> val;
+
+  /// Throws spaden::Error if the matrix has more than `max_diagonals`
+  /// populated diagonals (DIA would explode).
+  [[nodiscard]] static Dia from_csr(const Csr& a, std::size_t max_diagonals = 512);
+  [[nodiscard]] Csr to_csr() const;
+};
+
+std::vector<float> spmv_host(const Dia& a, const std::vector<float>& x);
+
+}  // namespace spaden::mat

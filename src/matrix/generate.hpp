@@ -1,0 +1,66 @@
+// Synthetic sparse matrix generators.
+//
+// The paper evaluates on SuiteSparse matrices, which are not available in
+// this offline environment. The profile-driven generator reproduces each
+// dataset from its published statistics instead (see matrix/dataset.hpp for
+// the registry and DESIGN.md for the substitution argument): dimensions and
+// nnz from Table 1, non-empty block count (Bnnz) from Table 1, and the
+// sparse/medium/dense block mix from Figure 9a. Generic generators
+// (uniform, R-MAT, banded) are also provided for tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden::mat {
+
+/// nnz entries at uniformly random distinct positions, values in
+/// [-1, -0.1] ∪ [0.1, 1] (bounded away from zero so binary16 rounding never
+/// creates spurious structural zeros).
+Coo random_uniform(Index nrows, Index ncols, std::size_t nnz, std::uint64_t seed);
+
+/// Recursive-matrix (R-MAT) power-law graph generator; 2^scale vertices,
+/// edge_factor * 2^scale edges (duplicates combined, so the result may have
+/// slightly fewer). Default partition (a,b,c,d) = (0.57, 0.19, 0.19, 0.05).
+Coo rmat(unsigned scale, double edge_factor, std::uint64_t seed, double a = 0.57,
+         double b = 0.19, double c = 0.19, double d = 0.05);
+
+/// Banded matrix: entries only within |col - row| <= bandwidth, each
+/// in-band position kept with probability `fill`. Diagonal always present
+/// (keeps the matrix usable for CG examples when made diagonally dominant).
+Coo banded(Index n, Index bandwidth, double fill, std::uint64_t seed);
+
+/// Symmetric positive-definite banded matrix for the CG example:
+/// A = B + B^T + diag shift making it strictly diagonally dominant.
+Csr banded_spd(Index n, Index bandwidth, double fill, std::uint64_t seed);
+
+// ----- profile-driven synthesis ------------------------------------------
+
+/// Targets for the block-structure synthesizer, expressed at scale 1.0.
+struct MatrixProfile {
+  std::string name;
+  Index nrow = 0;          ///< square matrices, as in Table 1
+  std::size_t nnz = 0;
+  std::size_t bnnz = 0;    ///< non-empty 8x8 blocks
+  /// Fraction of blocks per Figure 9a category (sparse <=32 / medium 33-48 /
+  /// dense >48). Need not sum exactly to 1; renormalized.
+  double sparse_frac = 1.0;
+  double medium_frac = 0.0;
+  double dense_frac = 0.0;
+  /// Probability that a block lands inside the diagonal band (structure
+  /// locality; FEM matrices are strongly banded, web graphs are not).
+  double diag_focus = 0.8;
+  /// Band half-width as a fraction of the block-column count.
+  double band_width = 0.05;
+};
+
+/// Synthesize a matrix matching `profile` scaled by `scale` (rows, nnz and
+/// block count all scale linearly; the block-fill mix is preserved). The
+/// generated matrix matches nrow (rounded to a multiple of 8), nnz and bnnz
+/// targets exactly.
+Csr synthesize(const MatrixProfile& profile, double scale, std::uint64_t seed);
+
+}  // namespace spaden::mat

@@ -1,0 +1,29 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// The paper's dataset is 12 SuiteSparse matrices; SuiteSparse distributes
+// them in Matrix Market coordinate format. This reader supports the subset
+// those files use: `matrix coordinate (real|integer|pattern)
+// (general|symmetric|skew-symmetric)`. Symmetric inputs are expanded to
+// general storage (both triangles), matching what SpMV kernels consume.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden::mat {
+
+/// Parse a Matrix Market stream; throws spaden::Error with a line number on
+/// malformed input. Pattern matrices get value 1.0 per entry.
+Coo read_matrix_market(std::istream& in);
+
+/// Convenience: read a .mtx file from disk and convert to CSR.
+Csr read_matrix_market_file(const std::string& path);
+
+/// Write COO as `matrix coordinate real general` with 1-based indices.
+void write_matrix_market(std::ostream& out, const Coo& m);
+void write_matrix_market_file(const std::string& path, const Coo& m);
+
+}  // namespace spaden::mat

@@ -1,0 +1,157 @@
+#include "matrix/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace spaden::mat {
+
+Permutation::Permutation(std::vector<Index> new_of_old) : new_of_old_(std::move(new_of_old)) {
+  validate();
+}
+
+Permutation Permutation::identity(Index n) {
+  std::vector<Index> p(n);
+  std::iota(p.begin(), p.end(), Index{0});
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<Index> inv(new_of_old_.size());
+  for (Index old_id = 0; old_id < size(); ++old_id) {
+    inv[new_of_old_[old_id]] = old_id;
+  }
+  return Permutation(std::move(inv));
+}
+
+void Permutation::validate() const {
+  std::vector<bool> seen(new_of_old_.size(), false);
+  for (const Index v : new_of_old_) {
+    SPADEN_REQUIRE(v < new_of_old_.size(), "permutation value %u out of range", v);
+    SPADEN_REQUIRE(!seen[v], "permutation value %u repeated", v);
+    seen[v] = true;
+  }
+}
+
+Csr permute_symmetric(const Csr& a, const Permutation& perm) {
+  SPADEN_REQUIRE(a.nrows == a.ncols, "symmetric permutation needs a square matrix");
+  SPADEN_REQUIRE(perm.size() == a.nrows, "permutation size %u != nrows %u", perm.size(),
+                 a.nrows);
+  Coo coo;
+  coo.nrows = a.nrows;
+  coo.ncols = a.ncols;
+  coo.row.reserve(a.nnz());
+  coo.col.reserve(a.nnz());
+  coo.val.reserve(a.nnz());
+  for (Index r = 0; r < a.nrows; ++r) {
+    for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      coo.row.push_back(perm[r]);
+      coo.col.push_back(perm[a.col_idx[i]]);
+      coo.val.push_back(a.val[i]);
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+std::vector<float> permute_vector(const std::vector<float>& v, const Permutation& perm) {
+  SPADEN_REQUIRE(v.size() == perm.size(), "vector size %zu != permutation size %u", v.size(),
+                 perm.size());
+  std::vector<float> out(v.size());
+  for (Index i = 0; i < perm.size(); ++i) {
+    out[perm[i]] = v[i];
+  }
+  return out;
+}
+
+Permutation degree_order(const Csr& a) {
+  std::vector<Index> order(a.nrows);
+  std::iota(order.begin(), order.end(), Index{0});
+  std::stable_sort(order.begin(), order.end(), [&](Index l, Index r) {
+    return a.row_nnz(l) > a.row_nnz(r);
+  });
+  // order[k] = k-th vertex in the new numbering; invert to new_of_old.
+  std::vector<Index> new_of_old(a.nrows);
+  for (Index k = 0; k < a.nrows; ++k) {
+    new_of_old[order[k]] = k;
+  }
+  return Permutation(std::move(new_of_old));
+}
+
+Permutation reverse_cuthill_mckee(const Csr& a) {
+  SPADEN_REQUIRE(a.nrows == a.ncols, "RCM needs a square matrix");
+  // Symmetrize the pattern (undirected adjacency).
+  const Csr at = a.transpose();
+  auto neighbours = [&](Index v, std::vector<Index>& out) {
+    out.clear();
+    for (Index i = a.row_ptr[v]; i < a.row_ptr[v + 1]; ++i) {
+      out.push_back(a.col_idx[i]);
+    }
+    for (Index i = at.row_ptr[v]; i < at.row_ptr[v + 1]; ++i) {
+      out.push_back(at.col_idx[i]);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  };
+  std::vector<Index> degree(a.nrows);
+  for (Index v = 0; v < a.nrows; ++v) {
+    degree[v] = a.row_nnz(v) + at.row_nnz(v);  // cheap over-approximation
+  }
+
+  std::vector<Index> cm_order;
+  cm_order.reserve(a.nrows);
+  std::vector<bool> visited(a.nrows, false);
+  std::vector<Index> nbrs;
+
+  // Seed each component with its minimum-degree unvisited vertex.
+  std::vector<Index> by_degree(a.nrows);
+  std::iota(by_degree.begin(), by_degree.end(), Index{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](Index l, Index r) { return degree[l] < degree[r]; });
+
+  for (const Index seed : by_degree) {
+    if (visited[seed]) {
+      continue;
+    }
+    std::queue<Index> frontier;
+    frontier.push(seed);
+    visited[seed] = true;
+    while (!frontier.empty()) {
+      const Index v = frontier.front();
+      frontier.pop();
+      cm_order.push_back(v);
+      neighbours(v, nbrs);
+      std::stable_sort(nbrs.begin(), nbrs.end(),
+                       [&](Index l, Index r) { return degree[l] < degree[r]; });
+      for (const Index n : nbrs) {
+        if (!visited[n]) {
+          visited[n] = true;
+          frontier.push(n);
+        }
+      }
+    }
+  }
+  SPADEN_ASSERT(cm_order.size() == a.nrows, "RCM covered %zu of %u vertices",
+                cm_order.size(), a.nrows);
+
+  // Reverse (the "R" of RCM) and invert to new_of_old.
+  std::vector<Index> new_of_old(a.nrows);
+  for (Index k = 0; k < a.nrows; ++k) {
+    new_of_old[cm_order[a.nrows - 1 - k]] = k;
+  }
+  return Permutation(std::move(new_of_old));
+}
+
+Index bandwidth(const Csr& a) {
+  Index bw = 0;
+  for (Index r = 0; r < a.nrows; ++r) {
+    for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      const Index c = a.col_idx[i];
+      bw = std::max(bw, c > r ? c - r : r - c);
+    }
+  }
+  return bw;
+}
+
+}  // namespace spaden::mat

@@ -1,0 +1,120 @@
+#include "matrix/spgemm.hpp"
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace spaden::mat {
+
+namespace {
+
+/// Widen one bitBSR block into a dense 8x8 fp32 tile.
+std::array<float, 64> expand_block(const BitBsr& m, std::size_t block) {
+  std::array<float, 64> out{};
+  Index slot = m.val_offset[block];
+  const std::uint64_t bmp = m.bitmap[block];
+  for (unsigned pos = 0; pos < 64; ++pos) {
+    if (test_bit(bmp, pos)) {
+      out[pos] = m.values[slot++].to_float();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t spgemm_block_pattern_bound(std::uint64_t a_bmp, std::uint64_t b_bmp) {
+  // Non-empty rows of A: row r occupied iff any bit in byte r (rows are
+  // bytes in the row-major bitmap).
+  std::uint8_t a_rows = 0;
+  for (unsigned r = 0; r < 8; ++r) {
+    if ((a_bmp >> (8 * r)) & 0xFFu) {
+      a_rows |= static_cast<std::uint8_t>(1u << r);
+    }
+  }
+  // Non-empty columns of B: column c occupied iff any bit with pos%8 == c.
+  std::uint8_t b_cols = 0;
+  std::uint64_t col_fold = b_bmp;
+  col_fold |= col_fold >> 32;
+  col_fold |= col_fold >> 16;
+  col_fold |= col_fold >> 8;
+  b_cols = static_cast<std::uint8_t>(col_fold & 0xFFu);
+
+  std::uint64_t bound = 0;
+  for (unsigned r = 0; r < 8; ++r) {
+    if ((a_rows >> r) & 1u) {
+      bound |= static_cast<std::uint64_t>(b_cols) << (8 * r);
+    }
+  }
+  return bound;
+}
+
+BitBsr spgemm_bitbsr(const BitBsr& a, const BitBsr& b) {
+  SPADEN_REQUIRE(a.ncols == b.nrows, "SpGEMM shape mismatch: A is %ux%u, B is %ux%u",
+                 a.nrows, a.ncols, b.nrows, b.ncols);
+  a.validate();
+  b.validate();
+
+  // b's blocks indexed by block-row for the Gustavson sweep.
+  // (bitBSR is already CSR over the block grid, so this is direct.)
+  struct Acc {
+    std::array<float, 64> tile{};
+  };
+
+  // Output assembled block-row by block-row; within a block-row a hash map
+  // keyed by block column accumulates dense tiles (Gustavson's sparse
+  // accumulator at block granularity).
+  Coo coo;
+  coo.nrows = a.nrows;
+  coo.ncols = b.ncols;
+
+  std::unordered_map<Index, Acc> row_acc;
+  for (Index bi = 0; bi < a.brows; ++bi) {
+    row_acc.clear();
+    for (Index ai = a.block_row_ptr[bi]; ai < a.block_row_ptr[bi + 1]; ++ai) {
+      const Index bk = a.block_col[ai];
+      const std::array<float, 64> a_tile = expand_block(a, ai);
+      for (Index bj_idx = b.block_row_ptr[bk]; bj_idx < b.block_row_ptr[bk + 1]; ++bj_idx) {
+        const Index bj = b.block_col[bj_idx];
+        // Bitmap bound: skip pairs whose product is structurally empty.
+        if (spgemm_block_pattern_bound(a.bitmap[ai], b.bitmap[bj_idx]) == 0) {
+          continue;
+        }
+        const std::array<float, 64> b_tile = expand_block(b, bj_idx);
+        auto& acc = row_acc[bj].tile;
+        for (unsigned r = 0; r < 8; ++r) {
+          for (unsigned k = 0; k < 8; ++k) {
+            const float av = a_tile[r * 8 + k];
+            if (av == 0.0f) {
+              continue;
+            }
+            for (unsigned c = 0; c < 8; ++c) {
+              acc[r * 8 + c] += av * b_tile[k * 8 + c];
+            }
+          }
+        }
+      }
+    }
+    // Flush the block-row's accumulators into triplets (dropping exact
+    // zeros, including cancellations).
+    for (const auto& [bj, acc] : row_acc) {
+      for (unsigned pos = 0; pos < 64; ++pos) {
+        if (acc.tile[pos] != 0.0f) {
+          const Index row = bi * 8 + pos / 8;
+          const Index col = bj * 8 + pos % 8;
+          if (row < a.nrows && col < b.ncols) {
+            coo.row.push_back(row);
+            coo.col.push_back(col);
+            coo.val.push_back(acc.tile[pos]);
+          }
+        }
+      }
+    }
+  }
+  return BitBsr::from_csr(Csr::from_coo(coo));
+}
+
+}  // namespace spaden::mat

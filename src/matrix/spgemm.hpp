@@ -1,0 +1,28 @@
+// Sparse general matrix-matrix multiplication (SpGEMM), C = A * B with both
+// operands sparse — the operation of [Zachariadis et al. 2020] in the
+// paper's related work, here built on bitBSR blocks.
+//
+// Block-level Gustavson: for every pair A(i,k), B(k,j) of non-empty 8x8
+// blocks, the dense 8x8 product contributes to C(i,j). The bitmap gives the
+// symbolic phase for free at block granularity (C(i,j) exists iff some k
+// pairs up), and an upper bound on each product's pattern comes from bitmap
+// algebra alone: row r of A(i,k)'s bitmap non-empty AND column c of
+// B(k,j)'s bitmap non-empty => (r, c) may be nonzero.
+#pragma once
+
+#include "matrix/bitbsr.hpp"
+
+namespace spaden::mat {
+
+/// Host reference SpGEMM over bitBSR blocks. Numeric accumulation is fp32
+/// (operands widen from binary16); the result's values are rounded back to
+/// binary16 like any bitBSR. Exact cancellation to 0.0f drops the entry
+/// from the result pattern (standard SpGEMM semantics).
+BitBsr spgemm_bitbsr(const BitBsr& a, const BitBsr& b);
+
+/// The bitmap-only symbolic upper bound of one block product: bit (r*8+c)
+/// is set iff row r of `a_bmp` and column c of `b_bmp` are both non-empty.
+/// The true product pattern is always a subset.
+std::uint64_t spgemm_block_pattern_bound(std::uint64_t a_bmp, std::uint64_t b_bmp);
+
+}  // namespace spaden::mat

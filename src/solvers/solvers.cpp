@@ -1,0 +1,191 @@
+#include "solvers/solvers.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spaden::solve {
+
+namespace {
+
+double dot(const std::vector<float>& u, const std::vector<float>& v) {
+  double s = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    s += static_cast<double>(u[i]) * static_cast<double>(v[i]);
+  }
+  return s;
+}
+
+double norm2(const std::vector<float>& v) { return std::sqrt(dot(v, v)); }
+
+/// out = a + s*b
+void axpy(std::vector<float>& out, const std::vector<float>& a, double s,
+          const std::vector<float>& b) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = a[i] + static_cast<float>(s) * b[i];
+  }
+}
+
+void check_square_system(const mat::Csr& a, const std::vector<float>& b) {
+  SPADEN_REQUIRE(a.nrows == a.ncols, "solver needs a square matrix (%u x %u)", a.nrows,
+                 a.ncols);
+  SPADEN_REQUIRE(b.size() == a.nrows, "rhs size %zu != n %u", b.size(), a.nrows);
+}
+
+}  // namespace
+
+SolveResult conjugate_gradient(const mat::Csr& a, const std::vector<float>& b,
+                               const SolveOptions& options) {
+  check_square_system(a, b);
+  SpmvEngine engine(a, options.engine);
+  const auto n = a.nrows;
+
+  SolveResult out;
+  out.x.assign(n, 0.0f);
+  std::vector<float> r = b;
+  std::vector<float> p = r;
+  std::vector<float> ap;
+  double rs = dot(r, r);
+  while (std::sqrt(rs) > options.tolerance && out.iterations < options.max_iterations) {
+    const SpmvResult spmv = engine.multiply(p, ap);
+    out.modeled_device_seconds += spmv.modeled_seconds;
+    const double pap = dot(p, ap);
+    SPADEN_REQUIRE(pap > 0, "p^T A p = %g <= 0: matrix is not positive definite", pap);
+    const double alpha = rs / pap;
+    axpy(out.x, out.x, alpha, p);
+    axpy(r, r, -alpha, ap);
+    const double rs_next = dot(r, r);
+    for (mat::Index i = 0; i < n; ++i) {
+      p[i] = r[i] + static_cast<float>(rs_next / rs) * p[i];
+    }
+    rs = rs_next;
+    ++out.iterations;
+  }
+  out.residual_norm = std::sqrt(rs);
+  out.converged = out.residual_norm <= options.tolerance;
+  return out;
+}
+
+SolveResult bicgstab(const mat::Csr& a, const std::vector<float>& b,
+                     const SolveOptions& options) {
+  check_square_system(a, b);
+  SpmvEngine engine(a, options.engine);
+  const auto n = a.nrows;
+
+  SolveResult out;
+  out.x.assign(n, 0.0f);
+  std::vector<float> r = b;
+  const std::vector<float> r0 = r;  // shadow residual
+  std::vector<float> p(n, 0.0f);
+  std::vector<float> v(n, 0.0f);
+  std::vector<float> s(n);
+  std::vector<float> t;
+  double rho = 1;
+  double alpha = 1;
+  double omega = 1;
+
+  while (norm2(r) > options.tolerance && out.iterations < options.max_iterations) {
+    const double rho_next = dot(r0, r);
+    if (rho_next == 0.0) {
+      break;  // breakdown: restart would be needed; report non-convergence
+    }
+    const double beta = (rho_next / rho) * (alpha / omega);
+    for (mat::Index i = 0; i < n; ++i) {
+      p[i] = r[i] + static_cast<float>(beta) * (p[i] - static_cast<float>(omega) * v[i]);
+    }
+    const SpmvResult sv = engine.multiply(p, v);
+    out.modeled_device_seconds += sv.modeled_seconds;
+    alpha = rho_next / dot(r0, v);
+    axpy(s, r, -alpha, v);
+    if (norm2(s) <= options.tolerance) {
+      axpy(out.x, out.x, alpha, p);
+      r = s;
+      ++out.iterations;
+      break;
+    }
+    const SpmvResult st = engine.multiply(s, t);
+    out.modeled_device_seconds += st.modeled_seconds;
+    omega = dot(t, s) / dot(t, t);
+    for (mat::Index i = 0; i < n; ++i) {
+      out.x[i] += static_cast<float>(alpha) * p[i] + static_cast<float>(omega) * s[i];
+    }
+    axpy(r, s, -omega, t);
+    rho = rho_next;
+    ++out.iterations;
+  }
+  out.residual_norm = norm2(r);
+  out.converged = out.residual_norm <= options.tolerance;
+  return out;
+}
+
+SolveResult jacobi(const mat::Csr& a, const std::vector<float>& b,
+                   const SolveOptions& options) {
+  check_square_system(a, b);
+  const auto n = a.nrows;
+  std::vector<float> diag(n, 0.0f);
+  for (mat::Index r = 0; r < n; ++r) {
+    for (mat::Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      if (a.col_idx[i] == r) {
+        diag[r] = a.val[i];
+      }
+    }
+    SPADEN_REQUIRE(diag[r] != 0.0f, "Jacobi needs a nonzero diagonal (row %u)", r);
+  }
+  SpmvEngine engine(a, options.engine);
+
+  SolveResult out;
+  out.x.assign(n, 0.0f);
+  std::vector<float> ax;
+  std::vector<float> r(n);
+  while (out.iterations < options.max_iterations) {
+    const SpmvResult spmv = engine.multiply(out.x, ax);
+    out.modeled_device_seconds += spmv.modeled_seconds;
+    for (mat::Index i = 0; i < n; ++i) {
+      r[i] = b[i] - ax[i];
+    }
+    out.residual_norm = norm2(r);
+    if (out.residual_norm <= options.tolerance) {
+      out.converged = true;
+      return out;
+    }
+    // x <- x + D^-1 r
+    for (mat::Index i = 0; i < n; ++i) {
+      out.x[i] += r[i] / diag[i];
+    }
+    ++out.iterations;
+  }
+  out.converged = out.residual_norm <= options.tolerance;
+  return out;
+}
+
+PowerResult power_method(const mat::Csr& a, const SolveOptions& options) {
+  SPADEN_REQUIRE(a.nrows == a.ncols, "power method needs a square matrix");
+  SpmvEngine engine(a, options.engine);
+  const auto n = a.nrows;
+
+  PowerResult out;
+  out.eigenvector.assign(n, 1.0f / std::sqrt(static_cast<float>(n)));
+  std::vector<float> next;
+  double prev_lambda = 0;
+  while (out.iterations < options.max_iterations) {
+    const SpmvResult spmv = engine.multiply(out.eigenvector, next);
+    out.modeled_device_seconds += spmv.modeled_seconds;
+    const double lambda = dot(out.eigenvector, next);  // Rayleigh quotient
+    const double nn = norm2(next);
+    SPADEN_REQUIRE(nn > 0, "power method hit the zero vector (nilpotent matrix?)");
+    for (mat::Index i = 0; i < n; ++i) {
+      out.eigenvector[i] = next[i] / static_cast<float>(nn);
+    }
+    ++out.iterations;
+    if (std::abs(lambda - prev_lambda) <= options.tolerance * std::abs(lambda)) {
+      out.eigenvalue = lambda;
+      out.converged = true;
+      return out;
+    }
+    prev_lambda = lambda;
+    out.eigenvalue = lambda;
+  }
+  return out;
+}
+
+}  // namespace spaden::solve

@@ -1,0 +1,57 @@
+// Iterative solvers and spectral routines built on the SpmvEngine — the
+// application layer the paper's introduction motivates (scientific
+// computing, iterative refinement) and the consumers that run many SpMVs
+// per matrix, amortizing bitBSR's one-time conversion (paper §5.5).
+//
+// Every A*v product executes on the simulated device through the selected
+// SpMV method; each result carries the accumulated modeled device time so
+// methods can be compared end to end.
+#pragma once
+
+#include <vector>
+
+#include "core/spaden.hpp"
+#include "matrix/csr.hpp"
+
+namespace spaden::solve {
+
+struct SolveOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-5;          ///< on the residual 2-norm
+  EngineOptions engine;             ///< SpMV method/device selection
+};
+
+struct SolveResult {
+  std::vector<float> x;
+  int iterations = 0;
+  double residual_norm = 0;
+  bool converged = false;
+  double modeled_device_seconds = 0;  ///< sum over all SpMV launches
+};
+
+/// Conjugate gradient — requires A symmetric positive definite.
+SolveResult conjugate_gradient(const mat::Csr& a, const std::vector<float>& b,
+                               const SolveOptions& options = {});
+
+/// BiCGSTAB — general square systems (van der Vorst's stabilized
+/// bi-conjugate gradient).
+SolveResult bicgstab(const mat::Csr& a, const std::vector<float>& b,
+                     const SolveOptions& options = {});
+
+/// Jacobi iteration — requires a nonzero diagonal; converges for strictly
+/// diagonally dominant systems.
+SolveResult jacobi(const mat::Csr& a, const std::vector<float>& b,
+                   const SolveOptions& options = {});
+
+struct PowerResult {
+  std::vector<float> eigenvector;  ///< unit 2-norm
+  double eigenvalue = 0;           ///< Rayleigh quotient estimate
+  int iterations = 0;
+  bool converged = false;
+  double modeled_device_seconds = 0;
+};
+
+/// Power method for the dominant eigenpair of a square matrix.
+PowerResult power_method(const mat::Csr& a, const SolveOptions& options = {});
+
+}  // namespace spaden::solve

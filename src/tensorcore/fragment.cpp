@@ -1,0 +1,51 @@
+#include "tensorcore/fragment.hpp"
+
+namespace spaden::tc {
+
+Coord frag_coord(FragUse use, unsigned lane, unsigned reg) {
+  SPADEN_REQUIRE(lane < kLanes && reg < kRegsPerLane, "invalid (lane=%u, reg=%u)", lane, reg);
+  const unsigned pair = reg / 2;  // 0..3 selects the portion
+  // Invert portion_pair(): pair = portion_col*2 + portion_row.
+  const unsigned portion_row = pair % 2;
+  const unsigned portion_col = pair / 2;
+
+  // Within a portion, lane `lid` owns two consecutive elements.
+  const unsigned major = lane / 4;                       // 0..7
+  const unsigned minor = 2 * (lane % 4) + (reg % 2);     // 0..7
+
+  unsigned local_row;
+  unsigned local_col;
+  if (use == FragUse::MatrixB) {
+    // Column-major: the consecutive pair runs down a column.
+    local_col = major;
+    local_row = minor;
+  } else {
+    // Row-major (matrix A and accumulator).
+    local_row = major;
+    local_col = minor;
+  }
+  return Coord{portion_row * kPortionDim + local_row, portion_col * kPortionDim + local_col};
+}
+
+std::pair<unsigned, unsigned> frag_locate(FragUse use, unsigned row, unsigned col) {
+  SPADEN_REQUIRE(row < kFragDim && col < kFragDim, "invalid coordinate (%u, %u)", row, col);
+  const unsigned portion_row = row / kPortionDim;
+  const unsigned portion_col = col / kPortionDim;
+  const unsigned local_row = row % kPortionDim;
+  const unsigned local_col = col % kPortionDim;
+
+  unsigned major;
+  unsigned minor;
+  if (use == FragUse::MatrixB) {
+    major = local_col;
+    minor = local_row;
+  } else {
+    major = local_row;
+    minor = local_col;
+  }
+  const unsigned lane = major * 4 + minor / 2;
+  const unsigned reg = portion_pair(portion_row, portion_col) * 2 + (minor % 2);
+  return {lane, reg};
+}
+
+}  // namespace spaden::tc

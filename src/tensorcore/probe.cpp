@@ -1,0 +1,116 @@
+#include "tensorcore/probe.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace spaden::tc {
+
+ProbeGrid probe_register_layout(FragUse use) {
+  // fragment.x[i] = i in every thread, then observe the data layout.
+  Fragment<half, FragUse::Accumulator> observed;  // storage only; layout from `use`
+  ProbeGrid grid{};
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
+      const Coord c = frag_coord(use, lane, reg);
+      grid[c.row][c.col] = reg;
+    }
+  }
+  (void)observed;
+  return grid;
+}
+
+ProbeGrid probe_thread_layout(FragUse use) {
+  ProbeGrid grid{};
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
+      const Coord c = frag_coord(use, lane, reg);
+      grid[c.row][c.col] = lane;
+    }
+  }
+  return grid;
+}
+
+std::string render_grid(const ProbeGrid& grid) {
+  std::ostringstream os;
+  for (unsigned r = 0; r < kFragDim; ++r) {
+    if (r == kPortionDim) {
+      os << std::string(16 * 3 + 3, '-') << '\n';
+    }
+    for (unsigned c = 0; c < kFragDim; ++c) {
+      if (c == kPortionDim) {
+        os << " |";
+      }
+      os << strfmt("%3u", grid[r][c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void verify_reverse_engineered_layout() {
+  for (const FragUse use : {FragUse::MatrixA, FragUse::MatrixB, FragUse::Accumulator}) {
+    const ProbeGrid regs = probe_register_layout(use);
+    const ProbeGrid lanes = probe_thread_layout(use);
+
+    // Fact 1: valid register indices are 0..7 (checked by construction via
+    // kRegsPerLane) and every register pair covers one full 8x8 portion.
+    for (unsigned r = 0; r < kFragDim; ++r) {
+      for (unsigned c = 0; c < kFragDim; ++c) {
+        const unsigned pair = portion_pair(r / kPortionDim, c / kPortionDim);
+        const unsigned reg = regs[r][c];
+        if (reg / 2 != pair) {
+          throw Error(strfmt("element (%u,%u): register %u does not belong to pair %u", r, c,
+                             reg, pair));
+        }
+      }
+    }
+
+    // Fact 2: the top-left portion is x[0,1]; bottom-right is x[6,7]
+    // (Algorithms 3 and 4 depend on these two).
+    if (regs[0][0] != 0 || regs[15][15] % 2 != 1 || regs[15][15] / 2 != 3) {
+      throw Error("top-left/bottom-right portion register mapping violated");
+    }
+
+    // Fact 3: one thread controls two consecutive elements within each
+    // portion (consecutive along a row for A/acc, along a column for B).
+    for (unsigned r = 0; r < kFragDim; ++r) {
+      for (unsigned c = 0; c < kFragDim; ++c) {
+        unsigned r2 = r;
+        unsigned c2 = c;
+        if (use == FragUse::MatrixB) {
+          if (r % 2 != 0) {
+            continue;
+          }
+          r2 = r + 1;
+        } else {
+          if (c % 2 != 0) {
+            continue;
+          }
+          c2 = c + 1;
+        }
+        if (lanes[r][c] != lanes[r2][c2]) {
+          throw Error(strfmt("elements (%u,%u) and (%u,%u) not held by one thread", r, c, r2,
+                             c2));
+        }
+      }
+    }
+
+    // Fact 4: every 8x8 portion is collectively handled by all 32 lanes.
+    for (unsigned pr = 0; pr < 2; ++pr) {
+      for (unsigned pc = 0; pc < 2; ++pc) {
+        std::uint64_t seen = 0;
+        for (unsigned r = 0; r < kPortionDim; ++r) {
+          for (unsigned c = 0; c < kPortionDim; ++c) {
+            seen |= std::uint64_t{1} << lanes[pr * kPortionDim + r][pc * kPortionDim + c];
+          }
+        }
+        if (seen != 0xFFFF'FFFFull) {
+          throw Error(strfmt("portion (%u,%u) not covered by all 32 lanes", pr, pc));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace spaden::tc

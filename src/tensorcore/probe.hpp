@@ -1,0 +1,40 @@
+// Reverse-engineering probe reproducing the paper's §3 experiment.
+//
+// The paper discovers the fragment's internal layout by assigning
+// `fragment.x[i] = i` in every thread and observing the stored matrix
+// (Figure 2), and by assigning lane ids to observe the thread layout
+// (Figure 1). These functions run the same experiments against the emulated
+// fragment and return the observed 16x16 grids, so tests can assert the
+// published layout and the `reverse_engineer` example can print it.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "tensorcore/fragment.hpp"
+
+namespace spaden::tc {
+
+using ProbeGrid = std::array<std::array<unsigned, kFragDim>, kFragDim>;
+
+/// Figure 2: store `reg` index into every register; the resulting matrix
+/// shows which register index backs each fragment element.
+ProbeGrid probe_register_layout(FragUse use);
+
+/// Figure 1: store the lane id into every register; the resulting matrix
+/// shows which thread holds each fragment element.
+ProbeGrid probe_thread_layout(FragUse use);
+
+/// Render a probe grid with 8x8 portion separators, as in the paper's
+/// figures.
+std::string render_grid(const ProbeGrid& grid);
+
+/// Verify the documented facts of §3 against the emulation:
+///  * valid register indices are exactly 0..7,
+///  * the top-left portion maps to x[0,1] and bottom-right to x[6,7],
+///  * one thread controls two consecutive elements per portion,
+///  * each 8x8 portion is covered by all 32 lanes.
+/// Throws spaden::Error with a description on any mismatch.
+void verify_reverse_engineered_layout();
+
+}  // namespace spaden::tc

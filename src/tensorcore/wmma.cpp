@@ -1,0 +1,112 @@
+#include "tensorcore/wmma.hpp"
+
+namespace spaden::tc {
+
+namespace {
+
+/// Charge the shared-memory staging the conventional WMMA path performs:
+/// each of the 256 fragment elements is stored to and re-loaded from shared
+/// memory by the warp (paper §3: "The use of shared memory introduces an
+/// additional level of indirection").
+void charge_shared_staging(sim::WarpCtx& ctx) {
+  constexpr std::uint64_t kElems = kFragDim * kFragDim;
+  ctx.charge(sim::OpClass::IntAlu, kElems);   // shared-store address math + st.shared
+  ctx.charge(sim::OpClass::IntAlu, kElems);   // ld.shared back into the fragment
+  ctx.charge(sim::OpClass::RegMove, kElems);  // fragment register fill
+}
+
+}  // namespace
+
+template <typename Frag>
+void wmma_load(sim::WarpCtx& ctx, Frag& frag, sim::DSpan<const half> src, std::size_t offset,
+               unsigned ld) {
+  SPADEN_REQUIRE(ld >= kFragDim, "leading dimension %u < fragment dim", ld);
+  SPADEN_REQUIRE(offset + (kFragDim - 1) * static_cast<std::size_t>(ld) + kFragDim <=
+                     src.size,
+                 "wmma_load out of bounds");
+  // Global traffic: 256 half values gathered by the warp in 8 coalesced
+  // instructions (one 16-element half-pair row chunk per lane).
+  std::array<std::array<half, kFragDim>, kFragDim> m{};
+  constexpr unsigned kChunks = kFragDim * kFragDim / sim::kWarpSize;  // 8
+  for (unsigned chunk = 0; chunk < kChunks; ++chunk) {
+    sim::Lanes<std::uint32_t> idx{};
+    for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+      const unsigned e = chunk * sim::kWarpSize + lane;  // 0..255 row-major
+      const unsigned r = e / kFragDim;
+      const unsigned c = e % kFragDim;
+      idx[lane] = static_cast<std::uint32_t>(offset + static_cast<std::size_t>(r) * ld + c);
+    }
+    const sim::Lanes<half> vals = ctx.gather(src, idx);
+    for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+      const unsigned e = chunk * sim::kWarpSize + lane;
+      m[e / kFragDim][e % kFragDim] = vals[lane];
+    }
+  }
+  frag.from_matrix(m);
+  charge_shared_staging(ctx);
+}
+
+void wmma_store(sim::WarpCtx& ctx, sim::DSpan<float> dst, std::size_t offset,
+                const FragAcc& acc, unsigned ld) {
+  SPADEN_REQUIRE(ld >= kFragDim, "leading dimension %u < fragment dim", ld);
+  SPADEN_REQUIRE(offset + (kFragDim - 1) * static_cast<std::size_t>(ld) + kFragDim <=
+                     dst.size,
+                 "wmma_store out of bounds");
+  const auto m = acc.to_matrix();
+  constexpr unsigned kChunks = kFragDim * kFragDim / sim::kWarpSize;  // 8
+  for (unsigned chunk = 0; chunk < kChunks; ++chunk) {
+    sim::Lanes<std::uint32_t> idx{};
+    sim::Lanes<float> vals{};
+    for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+      const unsigned e = chunk * sim::kWarpSize + lane;
+      const unsigned r = e / kFragDim;
+      const unsigned c = e % kFragDim;
+      idx[lane] = static_cast<std::uint32_t>(offset + static_cast<std::size_t>(r) * ld + c);
+      vals[lane] = m[r][c];
+    }
+    ctx.scatter(dst, idx, vals);
+  }
+  charge_shared_staging(ctx);
+}
+
+void wmma_mma(sim::WarpCtx& ctx, FragAcc& d, const FragA& a, const FragB& b,
+              const FragAcc& c) {
+  const auto am = a.to_matrix();
+  const auto bm = b.to_matrix();
+  const auto cm = c.to_matrix();
+  std::array<std::array<float, kFragDim>, kFragDim> dm{};
+  for (unsigned i = 0; i < kFragDim; ++i) {
+    for (unsigned j = 0; j < kFragDim; ++j) {
+      // Tensor-core numerics: binary16 operands promoted exactly to fp32,
+      // products and sums accumulated in fp32.
+      float acc = cm[i][j];
+      for (unsigned k = 0; k < kFragDim; ++k) {
+        acc += am[i][k].to_float() * bm[k][j].to_float();
+      }
+      dm[i][j] = acc;
+    }
+  }
+  d.from_matrix(dm);
+  ++ctx.stats().tc_mma_m16n16k16;
+}
+
+void mma_m8n8k4(sim::WarpCtx& ctx, float* d, const half* a, const half* b) {
+  for (unsigned i = 0; i < 8; ++i) {
+    for (unsigned j = 0; j < 8; ++j) {
+      float acc = d[i * 8 + j];
+      for (unsigned k = 0; k < 4; ++k) {
+        acc += a[i * 4 + k].to_float() * b[k * 8 + j].to_float();
+      }
+      d[i * 8 + j] = acc;
+    }
+  }
+  ++ctx.stats().tc_mma_m8n8k4;
+}
+
+// Explicit instantiations for the fragment types used by kernels.
+template void wmma_load<FragA>(sim::WarpCtx&, FragA&, sim::DSpan<const half>, std::size_t,
+                               unsigned);
+template void wmma_load<FragB>(sim::WarpCtx&, FragB&, sim::DSpan<const half>, std::size_t,
+                               unsigned);
+
+}  // namespace spaden::tc

@@ -1,0 +1,203 @@
+// bitBSR — the paper's format (§4.2, Figure 4). Tests pin the bit layout,
+// the exclusive-scan offsets, value packing order, round-trips, the
+// compression-rate claim, and half-precision behaviour.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "matrix/bitbsr.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::mat {
+namespace {
+
+TEST(BitBsr, PaperFigure4RowEncoding) {
+  // "row0 contains 8 elements, but only the first element f is nonzero, so
+  // row0 is represented by 0x01."
+  Coo coo;
+  coo.nrows = 8;
+  coo.ncols = 8;
+  coo.row = {0};
+  coo.col = {0};
+  coo.val = {1.0f};
+  const BitBsr b = BitBsr::from_csr(Csr::from_coo(coo));
+  ASSERT_EQ(b.num_blocks(), 1u);
+  EXPECT_EQ(b.bitmap[0], 0x01ull);
+}
+
+TEST(BitBsr, LsbTopLeftMsbBottomRight) {
+  Coo coo;
+  coo.nrows = 8;
+  coo.ncols = 8;
+  coo.row = {0, 7};
+  coo.col = {0, 7};
+  coo.val = {1.0f, 2.0f};
+  const BitBsr b = BitBsr::from_csr(Csr::from_coo(coo));
+  EXPECT_EQ(b.bitmap[0], (1ull << 0) | (1ull << 63));
+}
+
+TEST(BitBsr, ValuesPackedInBitmapOrder) {
+  // Paper Fig. 4: values of nonzeros (f, g, i, j, ...) stored consecutively
+  // in row-major bit order within each block.
+  Coo coo;
+  coo.nrows = 8;
+  coo.ncols = 8;
+  // Insert out of order; packing must follow bit positions.
+  coo.row = {3, 0, 1, 0};
+  coo.col = {3, 5, 2, 1};
+  coo.val = {44.0f, 6.0f, 11.0f, 2.0f};
+  const BitBsr b = BitBsr::from_csr(Csr::from_coo(coo));
+  ASSERT_EQ(b.nnz(), 4u);
+  // Bit order: (0,1)=2, (0,5)=6, (1,2)=11, (3,3)=44.
+  EXPECT_EQ(b.values[0].to_float(), 2.0f);
+  EXPECT_EQ(b.values[1].to_float(), 6.0f);
+  EXPECT_EQ(b.values[2].to_float(), 11.0f);
+  EXPECT_EQ(b.values[3].to_float(), 44.0f);
+}
+
+TEST(BitBsr, ExclusiveScanOffsets) {
+  const Csr a = Csr::from_coo(random_uniform(64, 64, 600, 3));
+  const BitBsr b = BitBsr::from_csr(a);
+  EXPECT_EQ(b.val_offset.front(), 0u);
+  EXPECT_EQ(b.val_offset.back(), a.nnz());
+  for (std::size_t blk = 0; blk < b.num_blocks(); ++blk) {
+    EXPECT_EQ(b.val_offset[blk + 1] - b.val_offset[blk],
+              static_cast<Index>(std::popcount(b.bitmap[blk])));
+  }
+  EXPECT_NO_THROW(b.validate());
+}
+
+TEST(BitBsr, Table1StatisticsNames) {
+  // Bnrow and Bnnz accessors mirror Table 1's columns.
+  const Csr a = Csr::from_coo(random_uniform(100, 100, 500, 4));
+  const BitBsr b = BitBsr::from_csr(a);
+  EXPECT_EQ(b.bnrow(), 13u);  // ceil(100/8)
+  EXPECT_EQ(b.bnnz(), b.num_blocks());
+}
+
+class BitBsrRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitBsrRandomTest, CsrRoundTripUpToHalfRounding) {
+  const Csr a = Csr::from_coo(random_uniform(120, 120, 2000, GetParam()));
+  const BitBsr b = BitBsr::from_csr(a);
+  const Csr back = b.to_csr();
+  // Structure is exact.
+  EXPECT_EQ(back.row_ptr, a.row_ptr);
+  EXPECT_EQ(back.col_idx, a.col_idx);
+  // Values round-trip through binary16.
+  for (std::size_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(back.val[i], half(a.val[i]).to_float());
+  }
+}
+
+TEST_P(BitBsrRandomTest, ToBsrAgreesWithDirectConversion) {
+  const Csr a = Csr::from_coo(random_uniform(80, 80, 900, GetParam() + 50));
+  const BitBsr bb = BitBsr::from_csr(a);
+  const Bsr direct = Bsr::from_csr(bb.to_csr(), 8);
+  const Bsr via = bb.to_bsr();
+  EXPECT_EQ(via.block_row_ptr, direct.block_row_ptr);
+  EXPECT_EQ(via.block_col, direct.block_col);
+  EXPECT_EQ(via.val, direct.val);
+}
+
+TEST_P(BitBsrRandomTest, SpmvMatchesReferenceWithinHalfTolerance) {
+  const Csr a = Csr::from_coo(random_uniform(100, 100, 1500, GetParam() + 99));
+  const BitBsr b = BitBsr::from_csr(a);
+  Rng rng(GetParam());
+  std::vector<float> x(a.ncols);
+  for (auto& v : x) {
+    v = rng.next_float(-1.0f, 1.0f);
+  }
+  const auto y = spmv_host(b, x);
+  const auto ref = spmv_reference(a, x);
+  for (Index r = 0; r < a.nrows; ++r) {
+    ASSERT_NEAR(y[r], ref[r], 0.05) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitBsrRandomTest, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(BitBsr, CompressionVsCooPositionEncoding) {
+  // Paper §4.2: a 64-bit bitmap replaces up to 64 COO coordinate pairs
+  // (64 bits each), a compression rate of 1x to 64x. Verify both extremes.
+  auto position_bytes_coo = [](std::size_t nnz) { return nnz * 8; };
+
+  // Dense block: 64 nonzeros -> one 8-byte bitmap vs 512 COO bytes = 64x.
+  Coo dense;
+  dense.nrows = 8;
+  dense.ncols = 8;
+  for (Index r = 0; r < 8; ++r) {
+    for (Index c = 0; c < 8; ++c) {
+      dense.row.push_back(r);
+      dense.col.push_back(c);
+      dense.val.push_back(1.0f);
+    }
+  }
+  const BitBsr b = BitBsr::from_csr(Csr::from_coo(dense));
+  EXPECT_EQ(b.bitmap.size() * 8, 8u);
+  EXPECT_EQ(position_bytes_coo(64) / (b.bitmap.size() * 8), 64u);
+
+  // Singleton block: rate 1x (bitmap as large as the COO pair).
+  Coo single;
+  single.nrows = 8;
+  single.ncols = 8;
+  single.row = {4};
+  single.col = {4};
+  single.val = {1.0f};
+  const BitBsr s = BitBsr::from_csr(Csr::from_coo(single));
+  EXPECT_EQ(position_bytes_coo(1) / (s.bitmap.size() * 8), 1u);
+}
+
+TEST(BitBsr, FootprintMatchesArraySizes) {
+  const Csr a = Csr::from_coo(random_uniform(64, 64, 500, 12));
+  const BitBsr b = BitBsr::from_csr(a);
+  const std::size_t expected = b.block_row_ptr.size() * 4 + b.block_col.size() * 4 +
+                               b.bitmap.size() * 8 + b.val_offset.size() * 4 +
+                               b.values.size() * 2;
+  EXPECT_EQ(b.footprint_bytes(), expected);
+}
+
+TEST(BitBsr, ValidateCatchesEmptyBlockAndBadCounts) {
+  const Csr a = Csr::from_coo(random_uniform(32, 32, 100, 13));
+  BitBsr b = BitBsr::from_csr(a);
+  const std::uint64_t saved = b.bitmap[0];
+  b.bitmap[0] = 0;
+  EXPECT_THROW(b.validate(), spaden::Error);
+  b.bitmap[0] = saved ^ 1ull << 63;  // flip a bit: popcount mismatch
+  EXPECT_THROW(b.validate(), spaden::Error);
+}
+
+TEST(BitBsr, PartialEdgeBlocksStayInBounds) {
+  // nrows = 21: the last block-row covers rows 16..20 only.
+  const Csr a = Csr::from_coo(random_uniform(21, 21, 150, 14));
+  const BitBsr b = BitBsr::from_csr(a);
+  EXPECT_EQ(b.brows, 3u);
+  const Csr back = b.to_csr();
+  EXPECT_EQ(back.nrows, 21u);
+  EXPECT_EQ(back.col_idx, a.col_idx);
+}
+
+TEST(BitBsr, DenseBlockMatrixHasFullBitmaps) {
+  // Mirrors raefsky3's structure: every block completely full.
+  Coo coo;
+  coo.nrows = 16;
+  coo.ncols = 16;
+  for (Index r = 0; r < 16; ++r) {
+    for (Index c = 0; c < 16; ++c) {
+      coo.row.push_back(r);
+      coo.col.push_back(c);
+      coo.val.push_back(0.5f);
+    }
+  }
+  const BitBsr b = BitBsr::from_csr(Csr::from_coo(coo));
+  EXPECT_EQ(b.num_blocks(), 4u);
+  for (const auto bmp : b.bitmap) {
+    EXPECT_EQ(bmp, ~0ull);
+  }
+}
+
+}  // namespace
+}  // namespace spaden::mat

@@ -1,0 +1,76 @@
+// Device-side bitCOO SpMV (block-parallel with atomics).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/bitcoo_spmv.hpp"
+#include "kernels/kernel.hpp"
+#include "matrix/dataset.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::kern {
+namespace {
+
+class BitCooSpmvTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitCooSpmvTest, MatchesFp64Reference) {
+  const mat::Csr a = mat::Csr::from_coo(mat::random_uniform(200, 180, 4000, GetParam()));
+  const mat::BitCoo bc = mat::BitCoo::from_csr(a);
+  Rng rng(GetParam());
+  std::vector<float> x(a.ncols);
+  for (auto& v : x) {
+    v = rng.next_float(-1.0f, 1.0f);
+  }
+  sim::Device device(sim::l40());
+  const BitCooSpmvResult result = spmv_bitcoo(device, bc, x);
+  const auto ref = mat::spmv_reference(a, x);
+  const double tol = spmv_tolerance(a, /*half_precision_values=*/true);
+  for (mat::Index r = 0; r < a.nrows; ++r) {
+    ASSERT_NEAR(result.y[r], ref[r], tol) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitCooSpmvTest, ::testing::Values(1, 2, 3));
+
+TEST(BitCooSpmv, OneWarpPerBlockPlusZeroFill) {
+  const mat::Csr a = mat::load_dataset("conf5", 0.01);
+  const mat::BitCoo bc = mat::BitCoo::from_csr(a);
+  sim::Device device(sim::l40());
+  const auto result = spmv_bitcoo(device, bc, std::vector<float>(a.ncols, 1.0f));
+  const std::uint64_t zero_warps = (a.nrows + 31) / 32;
+  EXPECT_EQ(result.launch.stats.warps_launched, bc.num_blocks() + zero_warps);
+}
+
+TEST(BitCooSpmv, AtomicTrafficScalesWithBlocksNotNnz) {
+  // 8 atomic lanes per block regardless of fill.
+  const mat::Csr a = mat::Csr::from_coo(mat::random_uniform(160, 160, 3000, 7));
+  const mat::BitCoo bc = mat::BitCoo::from_csr(a);
+  sim::Device device(sim::l40());
+  const auto result = spmv_bitcoo(device, bc, std::vector<float>(a.ncols, 0.5f));
+  EXPECT_EQ(result.launch.stats.atomic_lane_ops, 8 * bc.num_blocks());
+}
+
+TEST(BitCooSpmv, EmptyRowsStayZero) {
+  mat::Coo coo;
+  coo.nrows = 64;
+  coo.ncols = 64;
+  coo.row = {10};
+  coo.col = {10};
+  coo.val = {2.0f};
+  const mat::BitCoo bc = mat::BitCoo::from_csr(mat::Csr::from_coo(coo));
+  sim::Device device(sim::l40());
+  const auto result = spmv_bitcoo(device, bc, std::vector<float>(64, 3.0f));
+  for (mat::Index r = 0; r < 64; ++r) {
+    EXPECT_EQ(result.y[r], r == 10 ? 6.0f : 0.0f);
+  }
+}
+
+TEST(BitCooSpmv, RejectsWrongXSize) {
+  const mat::BitCoo bc =
+      mat::BitCoo::from_csr(mat::Csr::from_coo(mat::random_uniform(16, 16, 30, 9)));
+  sim::Device device(sim::l40());
+  EXPECT_THROW((void)spmv_bitcoo(device, bc, std::vector<float>(15)), spaden::Error);
+}
+
+}  // namespace
+}  // namespace spaden::kern

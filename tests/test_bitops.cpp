@@ -1,0 +1,75 @@
+// Bit-manipulation helpers behind bitBSR's bitmap encoding and decoding.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace spaden {
+namespace {
+
+TEST(Bitops, PrefixPopcountBasics) {
+  EXPECT_EQ(prefix_popcount(0xFFFF'FFFF'FFFF'FFFFull, 0), 0);
+  EXPECT_EQ(prefix_popcount(0xFFFF'FFFF'FFFF'FFFFull, 64), 64);
+  EXPECT_EQ(prefix_popcount(0b1011ull, 0), 0);
+  EXPECT_EQ(prefix_popcount(0b1011ull, 1), 1);
+  EXPECT_EQ(prefix_popcount(0b1011ull, 2), 2);
+  EXPECT_EQ(prefix_popcount(0b1011ull, 3), 2);
+  EXPECT_EQ(prefix_popcount(0b1011ull, 4), 3);
+}
+
+TEST(Bitops, PrefixPopcountIsRankFunction) {
+  // Property: walking bits in order, prefix_popcount at each set bit equals
+  // the number of set bits seen so far — exactly the value-array rank the
+  // bitBSR decoder relies on.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t bmp = rng.next_u64();
+    int rank = 0;
+    for (unsigned pos = 0; pos < 64; ++pos) {
+      if (test_bit(bmp, pos)) {
+        EXPECT_EQ(prefix_popcount(bmp, pos), rank);
+        ++rank;
+      }
+    }
+    EXPECT_EQ(rank, std::popcount(bmp));
+  }
+}
+
+TEST(Bitops, SetAndTestBit) {
+  std::uint64_t bmp = 0;
+  set_bit(bmp, 0);
+  set_bit(bmp, 63);
+  set_bit(bmp, 17);
+  EXPECT_TRUE(test_bit(bmp, 0));
+  EXPECT_TRUE(test_bit(bmp, 17));
+  EXPECT_TRUE(test_bit(bmp, 63));
+  EXPECT_FALSE(test_bit(bmp, 1));
+  EXPECT_EQ(std::popcount(bmp), 3);
+}
+
+TEST(Bitops, BlockBitIndexMatchesPaperLayout) {
+  // Paper Fig. 4: LSB = top-left, MSB = bottom-right, row-major.
+  EXPECT_EQ(block_bit_index(0, 0), 0u);
+  EXPECT_EQ(block_bit_index(0, 7), 7u);
+  EXPECT_EQ(block_bit_index(1, 0), 8u);
+  EXPECT_EQ(block_bit_index(7, 7), 63u);
+  // The paper's example: row0 with only the first element nonzero is 0x01.
+  std::uint64_t row0_first_only = 0;
+  set_bit(row0_first_only, block_bit_index(0, 0));
+  EXPECT_EQ(row0_first_only, 0x01ull);
+}
+
+TEST(Bitops, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(0u, 8u), 0u);
+  EXPECT_EQ(ceil_div(1u, 8u), 1u);
+  EXPECT_EQ(ceil_div(8u, 8u), 1u);
+  EXPECT_EQ(ceil_div(9u, 8u), 2u);
+  EXPECT_EQ(ceil_div(46835u, 8u), 5855u);  // rma10's Bnrow from Table 1
+  EXPECT_EQ(round_up(9u, 8u), 16u);
+  EXPECT_EQ(round_up(16u, 8u), 16u);
+}
+
+}  // namespace
+}  // namespace spaden

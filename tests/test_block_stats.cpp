@@ -1,0 +1,71 @@
+// Block categorization (paper §5.4 / Figure 9a): sparse <= 32, medium
+// 33..48, dense > 48.
+#include <gtest/gtest.h>
+
+#include "matrix/block_stats.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::mat {
+namespace {
+
+TEST(BlockCategory, ThresholdsFromPaper) {
+  EXPECT_EQ(categorize_block(1), BlockCategory::Sparse);
+  EXPECT_EQ(categorize_block(32), BlockCategory::Sparse);
+  EXPECT_EQ(categorize_block(33), BlockCategory::Medium);
+  EXPECT_EQ(categorize_block(48), BlockCategory::Medium);
+  EXPECT_EQ(categorize_block(49), BlockCategory::Dense);
+  EXPECT_EQ(categorize_block(64), BlockCategory::Dense);
+}
+
+BitBsr block_with_nnz(int nnz) {
+  Coo coo;
+  coo.nrows = 8;
+  coo.ncols = 8;
+  for (int i = 0; i < nnz; ++i) {
+    coo.row.push_back(static_cast<Index>(i / 8));
+    coo.col.push_back(static_cast<Index>(i % 8));
+    coo.val.push_back(1.0f);
+  }
+  return BitBsr::from_csr(Csr::from_coo(coo));
+}
+
+TEST(BlockStats, CountsSingleBlockPerCategory) {
+  for (const auto& [nnz, is_sparse, is_medium, is_dense] :
+       {std::tuple{10, 1, 0, 0}, std::tuple{40, 0, 1, 0}, std::tuple{60, 0, 0, 1}}) {
+    const BlockStats s = compute_block_stats(block_with_nnz(nnz));
+    EXPECT_EQ(s.num_blocks, 1u);
+    EXPECT_EQ(s.sparse_blocks, static_cast<std::size_t>(is_sparse));
+    EXPECT_EQ(s.medium_blocks, static_cast<std::size_t>(is_medium));
+    EXPECT_EQ(s.dense_blocks, static_cast<std::size_t>(is_dense));
+    EXPECT_EQ(s.nnz_histogram[static_cast<std::size_t>(nnz)], 1u);
+  }
+}
+
+TEST(BlockStats, RatiosSumToOne) {
+  const Csr a = Csr::from_coo(random_uniform(256, 256, 8000, 7));
+  const BlockStats s = compute_block_stats(BitBsr::from_csr(a));
+  EXPECT_GT(s.num_blocks, 0u);
+  EXPECT_NEAR(s.sparse_ratio() + s.medium_ratio() + s.dense_ratio(), 1.0, 1e-12);
+  EXPECT_EQ(s.sparse_blocks + s.medium_blocks + s.dense_blocks, s.num_blocks);
+}
+
+TEST(BlockStats, AvgBlockNnzMatchesTotals) {
+  const Csr a = Csr::from_coo(random_uniform(128, 128, 3000, 8));
+  const BitBsr b = BitBsr::from_csr(a);
+  const BlockStats s = compute_block_stats(b);
+  EXPECT_NEAR(s.avg_block_nnz(),
+              static_cast<double>(a.nnz()) / static_cast<double>(b.num_blocks()), 1e-9);
+}
+
+TEST(BlockStats, EmptyMatrix) {
+  Coo coo;
+  coo.nrows = 8;
+  coo.ncols = 8;
+  const BlockStats s = compute_block_stats(BitBsr::from_csr(Csr::from_coo(coo)));
+  EXPECT_EQ(s.num_blocks, 0u);
+  EXPECT_EQ(s.sparse_ratio(), 0.0);
+  EXPECT_EQ(s.avg_block_nnz(), 0.0);
+}
+
+}  // namespace
+}  // namespace spaden::mat

@@ -1,0 +1,99 @@
+// Blocked CSR: the stepping stone from CSR to bitBSR (paper §4.2).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+#include "matrix/bsr.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::mat {
+namespace {
+
+TEST(Bsr, PaperExampleDimensions) {
+  // Figure 4's setting: a 24x24 matrix in 8x8 blocks -> a 3x3 block grid.
+  Coo coo;
+  coo.nrows = 24;
+  coo.ncols = 24;
+  // One entry in block (0,0), two in block (1,2).
+  coo.row = {3, 9, 15};
+  coo.col = {4, 17, 23};
+  coo.val = {1.0f, 2.0f, 3.0f};
+  const Bsr b = Bsr::from_csr(Csr::from_coo(coo), 8);
+  EXPECT_EQ(b.brows, 3u);
+  EXPECT_EQ(b.bcols, 3u);
+  EXPECT_EQ(b.num_blocks(), 2u);
+  EXPECT_NO_THROW(b.validate());
+}
+
+TEST(Bsr, BlockValuesRowMajorWithZeros) {
+  Coo coo;
+  coo.nrows = 8;
+  coo.ncols = 8;
+  coo.row = {1};
+  coo.col = {2};
+  coo.val = {7.0f};
+  const Bsr b = Bsr::from_csr(Csr::from_coo(coo), 8);
+  ASSERT_EQ(b.num_blocks(), 1u);
+  EXPECT_EQ(b.val[1 * 8 + 2], 7.0f);  // row-major within the block
+  EXPECT_EQ(b.nnz(), 1u);             // one true nonzero...
+  EXPECT_EQ(b.val.size(), 64u);       // ...but 64 stored values (BSR's cost)
+  EXPECT_NEAR(b.fill_ratio(), 1.0 / 64.0, 1e-12);
+}
+
+class BsrRandomTest : public ::testing::TestWithParam<std::tuple<Index, std::uint64_t>> {};
+
+TEST_P(BsrRandomTest, CsrRoundTrip) {
+  const auto [block_dim, seed] = GetParam();
+  const Csr a = Csr::from_coo(random_uniform(100, 100, 1500, seed));
+  const Bsr b = Bsr::from_csr(a, block_dim);
+  EXPECT_NO_THROW(b.validate());
+  EXPECT_EQ(b.to_csr(), a);
+}
+
+TEST_P(BsrRandomTest, SpmvMatchesReference) {
+  const auto [block_dim, seed] = GetParam();
+  const Csr a = Csr::from_coo(random_uniform(90, 90, 1200, seed + 100));
+  const Bsr b = Bsr::from_csr(a, block_dim);
+  Rng rng(seed);
+  std::vector<float> x(a.ncols);
+  for (auto& v : x) {
+    v = rng.next_float(-1.0f, 1.0f);
+  }
+  const auto y = spmv_host(b, x);
+  const auto ref = spmv_reference(a, x);
+  for (Index r = 0; r < a.nrows; ++r) {
+    ASSERT_NEAR(y[r], ref[r], 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndSeeds, BsrRandomTest,
+                         ::testing::Combine(::testing::Values(2u, 4u, 8u, 16u),
+                                            ::testing::Values(31u, 32u, 33u)));
+
+TEST(Bsr, NonMultipleDimensionsGetPartialEdgeBlocks) {
+  // nrows = 21 with 8x8 blocks: 3 block rows, the last covering 5 rows.
+  const Csr a = Csr::from_coo(random_uniform(21, 21, 100, 77));
+  const Bsr b = Bsr::from_csr(a, 8);
+  EXPECT_EQ(b.brows, 3u);
+  EXPECT_EQ(b.to_csr(), a);
+}
+
+TEST(Bsr, BlockColumnsSortedWithinBlockRow) {
+  const Csr a = Csr::from_coo(random_uniform(64, 64, 800, 55));
+  const Bsr b = Bsr::from_csr(a, 8);
+  for (Index br = 0; br < b.brows; ++br) {
+    for (Index i = b.block_row_ptr[br] + 1; i < b.block_row_ptr[br + 1]; ++i) {
+      EXPECT_LT(b.block_col[i - 1], b.block_col[i]);
+    }
+  }
+}
+
+TEST(Bsr, RejectsBadBlockDim) {
+  const Csr a = Csr::from_coo(random_uniform(16, 16, 20, 1));
+  EXPECT_THROW((void)Bsr::from_csr(a, 0), spaden::Error);
+  EXPECT_THROW((void)Bsr::from_csr(a, 65), spaden::Error);
+}
+
+}  // namespace
+}  // namespace spaden::mat

@@ -1,0 +1,91 @@
+// Set-associative sector cache model (the simulated L1/L2).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/cache.hpp"
+
+namespace spaden::sim {
+namespace {
+
+TEST(SectorCache, FirstAccessMissesSecondHits) {
+  SectorCache c(1024, 4);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(16));  // same 32 B sector
+  EXPECT_FALSE(c.access(32));  // next sector
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(SectorCache, CapacityRoundedToPowerOfTwoSets) {
+  SectorCache c(1000, 4);  // 1000/32/4 = 7.8 lines/way -> 4 sets
+  EXPECT_EQ(c.capacity_bytes(), 4u * 4u * 32u);
+}
+
+TEST(SectorCache, LruEvictionWithinSet) {
+  // 2 sets, 2 ways: addresses mapping to set 0 are sector ids 0, 2, 4, ...
+  SectorCache c(2 * 2 * 32, 2);
+  auto addr = [](std::uint64_t sector) { return sector * 32; };
+  EXPECT_FALSE(c.access(addr(0)));
+  EXPECT_FALSE(c.access(addr(2)));
+  EXPECT_TRUE(c.access(addr(0)));   // refresh 0; LRU is now 2
+  EXPECT_FALSE(c.access(addr(4)));  // evicts 2
+  EXPECT_TRUE(c.access(addr(0)));   // 0 still resident
+  EXPECT_FALSE(c.access(addr(2)));  // 2 was evicted
+}
+
+TEST(SectorCache, DistinctSetsDoNotInterfere) {
+  SectorCache c(2 * 2 * 32, 2);
+  auto addr = [](std::uint64_t sector) { return sector * 32; };
+  // Fill set 0 with sectors 0, 2; set 1 with 1, 3 — all should coexist.
+  for (std::uint64_t s : {0, 2, 1, 3}) {
+    EXPECT_FALSE(c.access(addr(s)));
+  }
+  for (std::uint64_t s : {0, 2, 1, 3}) {
+    EXPECT_TRUE(c.access(addr(s)));
+  }
+}
+
+TEST(SectorCache, FlushDropsEverything) {
+  SectorCache c(4096, 4);
+  c.access(0);
+  c.access(64);
+  c.flush();
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(64));
+}
+
+TEST(SectorCache, WorkingSetLargerThanCapacityThrashes) {
+  // Property: cycling a working set 2x the capacity with LRU never hits.
+  SectorCache c(64 * 32, 4);
+  const std::uint64_t sectors = 128;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t s = 0; s < sectors; ++s) {
+      c.access(s * 32);
+    }
+  }
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(SectorCache, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
+  SectorCache c(64 * 32, 4);
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    c.access(s * 32);
+  }
+  const std::uint64_t misses_after_warmup = c.misses();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t s = 0; s < 64; ++s) {
+      EXPECT_TRUE(c.access(s * 32));
+    }
+  }
+  EXPECT_EQ(c.misses(), misses_after_warmup);
+}
+
+TEST(SectorCache, RejectsInvalidConfig) {
+  EXPECT_THROW(SectorCache(1024, 0), spaden::Error);
+  EXPECT_THROW(SectorCache(1024, 128), spaden::Error);
+  EXPECT_THROW(SectorCache(1024, 4, 33), spaden::Error);
+}
+
+}  // namespace
+}  // namespace spaden::sim

@@ -1,0 +1,131 @@
+// Memory controller: sector coalescing, L1/L2 filtering, atomics.
+// These counters are the raw material of every modeled performance number,
+// so the coalescing arithmetic is pinned down exactly.
+#include <gtest/gtest.h>
+
+#include "gpusim/controller.hpp"
+#include "gpusim/warp.hpp"
+
+namespace spaden::sim {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : l1_(4 * 1024, 4), l2_(1024 * 1024, 16), mc_(&l1_, &l2_, &stats_) {}
+
+  SectorCache l1_;
+  SectorCache l2_;
+  KernelStats stats_;
+  MemoryController mc_;
+};
+
+TEST_F(ControllerTest, FullyCoalescedWarpLoadTouchesFourSectors) {
+  // 32 lanes x 4 bytes consecutive = 128 bytes = 4 sectors.
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  for (int i = 0; i < 32; ++i) {
+    addrs[static_cast<std::size_t>(i)] = 0x1000 + static_cast<std::uint64_t>(i) * 4;
+    sizes[static_cast<std::size_t>(i)] = 4;
+  }
+  mc_.access(addrs, sizes, kFullMask, false);
+  EXPECT_EQ(stats_.wavefronts, 4u);
+  EXPECT_EQ(stats_.sectors, 4u);  // cold caches: all miss L1
+  EXPECT_EQ(stats_.dram_bytes, 4u * 32u);
+  EXPECT_EQ(stats_.mem_instructions, 1u);
+  EXPECT_EQ(stats_.lane_loads, 32u);
+}
+
+TEST_F(ControllerTest, FullyUncoalescedWarpLoadTouches32Sectors) {
+  // 32 lanes with 128-byte stride: each lane its own sector — the CSR
+  // Warp16 pattern (paper Fig. 8).
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  for (int i = 0; i < 32; ++i) {
+    addrs[static_cast<std::size_t>(i)] = 0x1000 + static_cast<std::uint64_t>(i) * 128;
+    sizes[static_cast<std::size_t>(i)] = 4;
+  }
+  mc_.access(addrs, sizes, kFullMask, false);
+  EXPECT_EQ(stats_.wavefronts, 32u);
+}
+
+TEST_F(ControllerTest, SectorStraddlingAccessCountsBothSectors) {
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  addrs[0] = 30;  // 8-byte access crossing the 32-byte boundary
+  sizes[0] = 8;
+  mc_.access(addrs, sizes, 0x1u, false);
+  EXPECT_EQ(stats_.wavefronts, 2u);
+}
+
+TEST_F(ControllerTest, MaskedLanesIgnored) {
+  std::array<std::uint64_t, 32> addrs{};  // all lanes would hit sector 0
+  std::array<std::uint32_t, 32> sizes{};
+  sizes.fill(4);
+  mc_.access(addrs, sizes, 0x0u, false);
+  EXPECT_EQ(stats_.wavefronts, 0u);
+  EXPECT_EQ(stats_.mem_instructions, 0u);
+}
+
+TEST_F(ControllerTest, L1HitsDoNotReachL2) {
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  sizes.fill(4);
+  mc_.access(addrs, sizes, kFullMask, false);  // 1 sector, cold
+  const auto l2_sectors_after_first = stats_.sectors;
+  mc_.access(addrs, sizes, kFullMask, false);  // warm: L1 hit
+  EXPECT_EQ(stats_.sectors, l2_sectors_after_first);
+  EXPECT_EQ(stats_.wavefronts, 2u);  // wavefronts still counted
+  EXPECT_EQ(stats_.l1_hit_bytes, 32u);
+}
+
+TEST_F(ControllerTest, L2HitAfterL1Eviction) {
+  // Touch enough distinct sectors to evict sector 0 from the small L1 but
+  // not from the large L2; re-access must be an L2 hit, not DRAM.
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  sizes.fill(4);
+  mc_.access(addrs, sizes, 0x1u, false);  // sector 0
+  for (std::uint64_t s = 1; s < 512; ++s) {
+    addrs[0] = s * 32;
+    mc_.access(addrs, sizes, 0x1u, false);
+  }
+  const auto dram_before = stats_.dram_bytes;
+  addrs[0] = 0;
+  mc_.access(addrs, sizes, 0x1u, false);
+  EXPECT_EQ(stats_.dram_bytes, dram_before);  // served from L2
+  EXPECT_GT(stats_.l2_hit_bytes, 0u);
+}
+
+TEST_F(ControllerTest, RangeAccessCountsContiguousSectors) {
+  mc_.access_range(0x2000, 256, true);
+  EXPECT_EQ(stats_.wavefronts, 8u);
+  EXPECT_EQ(stats_.lane_stores, 1u);
+  EXPECT_EQ(stats_.mem_instructions, 1u);
+}
+
+TEST_F(ControllerTest, AtomicsDoNotCoalesce) {
+  // All 32 lanes atomically update the same sector: serialization means 32
+  // wavefronts, unlike a normal store (1).
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  sizes.fill(4);
+  mc_.access_atomic(addrs, sizes, kFullMask);
+  EXPECT_EQ(stats_.wavefronts, 32u);
+  EXPECT_EQ(stats_.atomic_lane_ops, 32u);
+}
+
+TEST_F(ControllerTest, StatsAccumulateAcrossInstructions) {
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  sizes.fill(4);
+  for (int i = 0; i < 5; ++i) {
+    mc_.access(addrs, sizes, kFullMask, i % 2 == 0);
+  }
+  EXPECT_EQ(stats_.mem_instructions, 5u);
+  EXPECT_EQ(stats_.lane_loads, 2u * 32u);
+  EXPECT_EQ(stats_.lane_stores, 3u * 32u);
+}
+
+}  // namespace
+}  // namespace spaden::sim

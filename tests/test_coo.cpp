@@ -1,0 +1,75 @@
+// COO triplet format: sorting, duplicate combination, validation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "matrix/coo.hpp"
+
+namespace spaden::mat {
+namespace {
+
+Coo sample() {
+  Coo m;
+  m.nrows = 4;
+  m.ncols = 4;
+  m.row = {2, 0, 2, 1};
+  m.col = {1, 3, 0, 2};
+  m.val = {5.0f, 1.0f, 4.0f, 3.0f};
+  return m;
+}
+
+TEST(Coo, SortOrdersByRowThenCol) {
+  Coo m = sample();
+  m.sort();
+  EXPECT_EQ(m.row, (std::vector<Index>{0, 1, 2, 2}));
+  EXPECT_EQ(m.col, (std::vector<Index>{3, 2, 0, 1}));
+  EXPECT_EQ(m.val, (std::vector<float>{1.0f, 3.0f, 4.0f, 5.0f}));
+}
+
+TEST(Coo, CombineDuplicatesSums) {
+  Coo m;
+  m.nrows = 2;
+  m.ncols = 2;
+  m.row = {0, 0, 1, 0};
+  m.col = {1, 1, 0, 1};
+  m.val = {1.0f, 2.0f, 7.0f, 3.0f};
+  m.combine_duplicates();
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.row, (std::vector<Index>{0, 1}));
+  EXPECT_EQ(m.val[0], 6.0f);
+  EXPECT_TRUE(m.is_canonical());
+}
+
+TEST(Coo, IsCanonicalDetectsDisorderAndDuplicates) {
+  Coo m = sample();
+  EXPECT_FALSE(m.is_canonical());
+  m.sort();
+  EXPECT_TRUE(m.is_canonical());
+  m.row.push_back(2);
+  m.col.push_back(1);  // duplicate of the last entry
+  m.val.push_back(1.0f);
+  EXPECT_FALSE(m.is_canonical());
+}
+
+TEST(Coo, ValidateCatchesOutOfRange) {
+  Coo m = sample();
+  EXPECT_NO_THROW(m.validate());
+  m.col[0] = 4;
+  EXPECT_THROW(m.validate(), spaden::Error);
+  m = sample();
+  m.row.pop_back();
+  EXPECT_THROW(m.validate(), spaden::Error);
+}
+
+TEST(Coo, EmptyMatrixIsValidAndCanonical) {
+  Coo m;
+  m.nrows = 3;
+  m.ncols = 3;
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_TRUE(m.is_canonical());
+  m.combine_duplicates();
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace spaden::mat

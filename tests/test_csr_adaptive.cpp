@@ -1,0 +1,92 @@
+// CSR-Adaptive row-block kernel: load-balancing invariants beyond the
+// generic correctness sweep in test_kernels.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "kernels/kernel.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::kern {
+namespace {
+
+sim::LaunchResult run_once(const mat::Csr& a, sim::Device& device) {
+  auto kernel = make_kernel(Method::CsrAdaptive);
+  kernel->prepare(device, a);
+  std::vector<float> x(a.ncols, 0.5f);
+  auto xb = device.memory().upload(x);
+  auto y = device.memory().alloc<float>(a.nrows);
+  return kernel->run(device, xb.cspan(), y.span());
+}
+
+TEST(CsrAdaptive, LongRowsSplitAcrossWarpsWithAtomics) {
+  // One 4096-long row: must become ceil(4096/64) = 64 chunk blocks whose
+  // partials combine atomically.
+  mat::Coo coo;
+  coo.nrows = 16;
+  coo.ncols = 4096;
+  for (mat::Index c = 0; c < 4096; ++c) {
+    coo.row.push_back(7);
+    coo.col.push_back(c);
+    coo.val.push_back(0.001f);
+  }
+  const mat::Csr a = mat::Csr::from_coo(coo);
+  sim::Device device(sim::l40());
+  const auto result = run_once(a, device);
+  // 64 chunk warps + trailing empty-row block(s) + zero-fill warps.
+  EXPECT_GE(result.stats.warps_launched, 64u);
+  EXPECT_GE(result.stats.atomic_lane_ops, 64u);
+
+  // And the result is right despite the chunked accumulation.
+  auto kernel = make_kernel(Method::CsrAdaptive);
+  sim::Device d2(sim::l40());
+  kernel->prepare(d2, a);
+  EXPECT_TRUE(verify_kernel(*kernel, d2, a).ok());
+}
+
+TEST(CsrAdaptive, BalancedWarpCountOnSkewedMatrix) {
+  // Power-law matrix: warp count must track ceil(nnz/64) + overheads, not
+  // the row count — that is the method's whole point.
+  const mat::Csr a = mat::Csr::from_coo(mat::rmat(10, 16.0, 11));
+  sim::Device device(sim::l40());
+  const auto result = run_once(a, device);
+  const std::uint64_t zero_warps = (a.nrows + 31) / 32;
+  const std::uint64_t nnz_blocks = (a.nnz() + 63) / 64;
+  // Between the nnz lower bound and a modest packing-slack upper bound.
+  EXPECT_GE(result.stats.warps_launched, zero_warps + nnz_blocks);
+  EXPECT_LE(result.stats.warps_launched, zero_warps + 3 * nnz_blocks + a.nrows / 8);
+}
+
+TEST(CsrAdaptive, HandlesAllEmptyRows) {
+  mat::Csr a;
+  a.nrows = 100;
+  a.ncols = 100;
+  a.row_ptr.assign(101, 0);
+  sim::Device device(sim::l40());
+  auto kernel = make_kernel(Method::CsrAdaptive);
+  kernel->prepare(device, a);
+  std::vector<float> x(100, 1.0f);
+  auto xb = device.memory().upload(x);
+  auto y = device.memory().alloc<float>(100);
+  (void)kernel->run(device, xb.cspan(), y.span());
+  for (const float v : y.host()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(CsrAdaptive, FootprintAddsBlockDescriptors) {
+  const mat::Csr a = mat::Csr::from_coo(mat::random_uniform(256, 256, 5000, 12));
+  sim::Device device(sim::l40());
+  auto kernel = make_kernel(Method::CsrAdaptive);
+  kernel->prepare(device, a);
+  const Footprint fp = kernel->footprint();
+  bool found = false;
+  for (const auto& item : fp.items) {
+    found |= item.name == "adaptive.block_row";
+  }
+  EXPECT_TRUE(found);
+  // Descriptor overhead stays small relative to the format itself.
+  EXPECT_LT(fp.bytes_per_nnz(a.nnz()), 10.0);
+}
+
+}  // namespace
+}  // namespace spaden::kern

@@ -1,0 +1,125 @@
+// Dataset registry: reproduces Table 1's statistics at scale 1 (checked at
+// reduced scale here for speed; bench/table1_datasets regenerates the full
+// table).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "matrix/block_stats.hpp"
+#include "matrix/dataset.hpp"
+
+namespace spaden::mat {
+namespace {
+
+TEST(Dataset, RegistryHasAll14Table1Entries) {
+  const auto& all = datasets();
+  ASSERT_EQ(all.size(), 14u);
+  EXPECT_EQ(all.front().name(), "raefsky3");
+  EXPECT_EQ(all.back().name(), "webbase1M");
+  EXPECT_EQ(in_scope_datasets().size(), 12u);
+  // The two bottom rows of Table 1 do NOT meet the selection criteria.
+  EXPECT_FALSE(all[12].meets_criteria);
+  EXPECT_FALSE(all[13].meets_criteria);
+}
+
+TEST(Dataset, Table1PublishedStatistics) {
+  // Spot-check nrow/nnz/Bnnz against the paper's Table 1.
+  const auto& cant = dataset_by_name("cant");
+  EXPECT_EQ(cant.profile.nrow, 62451u);
+  EXPECT_EQ(cant.profile.nnz, 4'007'383u);
+  EXPECT_EQ(cant.profile.bnnz, 180'069u);
+  EXPECT_EQ(cant.expected_bnrow(), 7807u);  // Table 1's Bnrow
+
+  const auto& tsopf = dataset_by_name("TSOPF");
+  EXPECT_EQ(tsopf.profile.nnz, 16'171'169u);
+  EXPECT_EQ(tsopf.expected_bnrow(), 4765u);
+
+  const auto& webbase = dataset_by_name("webbase1M");
+  EXPECT_EQ(webbase.profile.nrow, 1'000'005u);
+  EXPECT_EQ(webbase.expected_bnrow(), 125'001u);
+}
+
+TEST(Dataset, Table1BnrowConsistency) {
+  // Table 1's Bnrow column equals ceil(nrow/8) for every matrix — a
+  // consistency check of the paper's own numbers against our conversion.
+  const std::vector<Index> published_bnrow{2650,  6144,  5855,  7807,  4553,  10417, 17610,
+                                           27240, 23205, 4765,  33512, 42974, 21375, 125001};
+  const auto& all = datasets();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].expected_bnrow(), published_bnrow[i]) << all[i].name();
+  }
+}
+
+TEST(Dataset, UnknownNameThrows) {
+  EXPECT_THROW((void)dataset_by_name("nonexistent"), spaden::Error);
+}
+
+TEST(Dataset, SelectionCriteriaMatchPaper) {
+  // §5.1: matrices with nnz/nrow > 32 meet the criteria; the two low-degree
+  // matrices have nnz/nrow < 6.
+  for (const auto& d : datasets()) {
+    const double degree =
+        static_cast<double>(d.profile.nnz) / static_cast<double>(d.profile.nrow);
+    if (d.meets_criteria) {
+      EXPECT_GT(degree, 32.0) << d.name();
+    } else {
+      EXPECT_LT(degree, 6.0) << d.name();
+    }
+  }
+}
+
+class DatasetScaledTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetScaledTest, ScaledSynthesisMatchesScaledTargets) {
+  const auto& info = dataset_by_name(GetParam());
+  const double scale = 0.05;
+  const Csr a = load_dataset(info, scale);
+  a.validate();
+  EXPECT_NEAR(static_cast<double>(a.nrows), info.profile.nrow * scale, 8.0);
+  const BitBsr b = BitBsr::from_csr(a);
+  EXPECT_NEAR(static_cast<double>(b.bnnz()), static_cast<double>(info.profile.bnnz) * scale,
+              static_cast<double>(info.profile.bnnz) * scale * 0.02 + 2);
+  // Average block fill must track the full-size matrix (the structural
+  // property Figs. 9a/9b depend on).
+  const double target_fill =
+      static_cast<double>(info.profile.nnz) / static_cast<double>(info.profile.bnnz);
+  const double got_fill = static_cast<double>(a.nnz()) / static_cast<double>(b.bnnz());
+  EXPECT_NEAR(got_fill, target_fill, target_fill * 0.1 + 1.0) << info.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetScaledTest,
+                         ::testing::Values("raefsky3", "conf5", "cant", "pwtk",
+                                           "Si41Ge41H72", "TSOPF", "scircuit", "webbase1M"));
+
+TEST(Dataset, CategoryMixQualitativelyMatchesFigure9a) {
+  const double scale = 0.05;
+  // raefsky3 and TSOPF: dense-block dominated.
+  for (const char* name : {"raefsky3", "TSOPF"}) {
+    const auto s = compute_block_stats(BitBsr::from_csr(load_dataset(name, scale)));
+    EXPECT_GT(s.dense_ratio(), 0.6) << name;
+  }
+  // pwtk: roughly even split.
+  const auto pwtk = compute_block_stats(BitBsr::from_csr(load_dataset("pwtk", scale)));
+  EXPECT_GT(pwtk.sparse_ratio(), 0.15);
+  EXPECT_GT(pwtk.medium_ratio(), 0.15);
+  EXPECT_GT(pwtk.dense_ratio(), 0.15);
+  // The quantum-chemistry matrices: overwhelmingly sparse blocks.
+  for (const char* name : {"Si41Ge41H72", "Ga41As41H72"}) {
+    const auto s = compute_block_stats(BitBsr::from_csr(load_dataset(name, scale)));
+    EXPECT_GT(s.sparse_ratio(), 0.9) << name;
+  }
+}
+
+TEST(Dataset, BenchScaleDefaultsAndEnvOverride) {
+  // Note: setenv here is process-local to this test binary.
+  unsetenv("SPADEN_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale(), 0.25);
+  setenv("SPADEN_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 0.5);
+  setenv("SPADEN_SCALE", "2.0", 1);
+  EXPECT_THROW((void)bench_scale(), spaden::Error);
+  unsetenv("SPADEN_SCALE");
+}
+
+}  // namespace
+}  // namespace spaden::mat

@@ -1,0 +1,87 @@
+// Dense matrix helpers and the SpMM/SDDMM fp64 references.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::mat {
+namespace {
+
+TEST(Dense, IndexingAndFill) {
+  Dense d(3, 4, 2.5f);
+  EXPECT_EQ(d.data.size(), 12u);
+  EXPECT_EQ(d.at(2, 3), 2.5f);
+  d.at(1, 2) = 7.0f;
+  EXPECT_EQ(d.data[1 * 4 + 2], 7.0f);
+}
+
+TEST(Dense, TransposeRoundTrip) {
+  const Dense d = random_dense(5, 9, 1);
+  const Dense t = d.transpose();
+  EXPECT_EQ(t.nrows, 9u);
+  EXPECT_EQ(t.ncols, 5u);
+  EXPECT_EQ(t.at(3, 2), d.at(2, 3));
+  EXPECT_EQ(t.transpose(), d);
+}
+
+TEST(Dense, RandomDeterministicAndBounded) {
+  const Dense a = random_dense(10, 10, 7);
+  EXPECT_EQ(a, random_dense(10, 10, 7));
+  for (const float v : a.data) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(SpmmReference, MatchesRowWiseSpmv) {
+  // Property: column j of spmm_reference equals spmv_reference with B's
+  // column j as x.
+  const Csr a = Csr::from_coo(random_uniform(40, 50, 300, 2));
+  const Dense b = random_dense(50, 6, 3);
+  const Dense c = spmm_reference(a, b);
+  for (Index j = 0; j < b.ncols; ++j) {
+    std::vector<float> x(b.nrows);
+    for (Index r = 0; r < b.nrows; ++r) {
+      x[r] = b.at(r, j);
+    }
+    const auto y = spmv_reference(a, x);
+    for (Index r = 0; r < a.nrows; ++r) {
+      EXPECT_NEAR(c.at(r, j), y[r], 1e-4);
+    }
+  }
+}
+
+TEST(SpmmReference, ShapeChecked) {
+  const Csr a = Csr::from_coo(random_uniform(8, 8, 10, 4));
+  EXPECT_THROW((void)spmm_reference(a, Dense(9, 3)), spaden::Error);
+}
+
+TEST(SddmmReference, KnownDotProducts) {
+  // Pattern with a single entry (1, 2); U, V small and hand-checkable.
+  Coo coo;
+  coo.nrows = 3;
+  coo.ncols = 4;
+  coo.row = {1};
+  coo.col = {2};
+  coo.val = {1.0f};
+  const Csr pattern = Csr::from_coo(coo);
+  Dense u(3, 2);
+  Dense v(4, 2);
+  u.at(1, 0) = 2.0f;
+  u.at(1, 1) = 3.0f;
+  v.at(2, 0) = 5.0f;
+  v.at(2, 1) = 7.0f;
+  const auto out = sddmm_reference(pattern, u, v);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2.0f * 5.0f + 3.0f * 7.0f);
+}
+
+TEST(SddmmReference, ShapeChecked) {
+  const Csr p = Csr::from_coo(random_uniform(8, 8, 10, 5));
+  EXPECT_THROW((void)sddmm_reference(p, Dense(8, 4), Dense(8, 5)), spaden::Error);
+  EXPECT_THROW((void)sddmm_reference(p, Dense(7, 4), Dense(8, 4)), spaden::Error);
+}
+
+}  // namespace
+}  // namespace spaden::mat

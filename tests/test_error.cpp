@@ -1,0 +1,46 @@
+// Diagnostics: check macros and the printf-style formatter.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spaden {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(strfmt("%.3f", 1.23456), "1.235");
+  EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Strfmt, LongStringsNotTruncated) {
+  const std::string big(10000, 'a');
+  EXPECT_EQ(strfmt("%s!", big.c_str()).size(), big.size() + 1);
+}
+
+TEST(Require, PassesOnTrue) {
+  EXPECT_NO_THROW(SPADEN_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Require, ThrowsWithContextOnFalse) {
+  try {
+    SPADEN_REQUIRE(false, "value was %d", 7);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("value was 7"), std::string::npos);
+    EXPECT_NE(msg.find("precondition"), std::string::npos);
+    EXPECT_NE(msg.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Assert, ThrowsInvariantKind) {
+  try {
+    SPADEN_ASSERT(false, "broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace spaden

@@ -1,0 +1,116 @@
+// ELL / HYB / DIA formats (paper §2.1's standard GPU format catalogue):
+// conversions round-trip and SpMV agrees with the CSR reference.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+#include "matrix/ell.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::mat {
+namespace {
+
+std::vector<float> random_x(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) {
+    v = rng.next_float(-1.0f, 1.0f);
+  }
+  return x;
+}
+
+void expect_matches_reference(const std::vector<float>& y, const Csr& a,
+                              const std::vector<float>& x) {
+  const auto ref = spmv_reference(a, x);
+  ASSERT_EQ(y.size(), ref.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], ref[i], 1e-3) << "row " << i;
+  }
+}
+
+class FormatsRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormatsRandomTest, EllRoundTripAndSpmv) {
+  const Csr a = Csr::from_coo(random_uniform(120, 150, 900, GetParam()));
+  const Ell e = Ell::from_csr(a);
+  EXPECT_EQ(e.to_csr(), a);
+  expect_matches_reference(spmv_host(e, random_x(a.ncols, 1)), a, random_x(a.ncols, 1));
+}
+
+TEST_P(FormatsRandomTest, HybRoundTripAndSpmv) {
+  const Csr a = Csr::from_coo(random_uniform(120, 150, 900, GetParam()));
+  const Hyb h = Hyb::from_csr(a);
+  EXPECT_EQ(h.to_csr(), a);
+  expect_matches_reference(spmv_host(h, random_x(a.ncols, 2)), a, random_x(a.ncols, 2));
+}
+
+TEST_P(FormatsRandomTest, DiaRoundTripAndSpmvOnBanded) {
+  const Csr a = Csr::from_coo(banded(100, 3, 0.5, GetParam()));
+  const Dia d = Dia::from_csr(a);
+  EXPECT_EQ(d.to_csr(), a);
+  expect_matches_reference(spmv_host(d, random_x(a.ncols, 3)), a, random_x(a.ncols, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatsRandomTest, ::testing::Values(10, 11, 12, 13, 14));
+
+TEST(Ell, WidthIsMaxRowLengthAndPaddingRatio) {
+  Coo coo;
+  coo.nrows = 3;
+  coo.ncols = 3;
+  coo.row = {0, 0, 0, 1};
+  coo.col = {0, 1, 2, 1};
+  coo.val = {1, 1, 1, 1};
+  const Ell e = Ell::from_csr(Csr::from_coo(coo));
+  EXPECT_EQ(e.width, 3u);
+  // 9 slots, 4 used -> 5/9 padded.
+  EXPECT_NEAR(e.padding_ratio(), 5.0 / 9.0, 1e-12);
+}
+
+TEST(Ell, ColumnMajorLayoutIsCoalesced) {
+  // Slot k of consecutive rows must be contiguous (the ELL design point).
+  Coo coo;
+  coo.nrows = 4;
+  coo.ncols = 4;
+  for (Index r = 0; r < 4; ++r) {
+    coo.row.push_back(r);
+    coo.col.push_back(r);
+    coo.val.push_back(static_cast<float>(r + 1));
+  }
+  const Ell e = Ell::from_csr(Csr::from_coo(coo));
+  ASSERT_EQ(e.width, 1u);
+  for (Index r = 0; r < 4; ++r) {
+    EXPECT_EQ(e.val[r], static_cast<float>(r + 1));
+  }
+}
+
+TEST(Hyb, SplitsAtRequestedWidth) {
+  Coo coo;
+  coo.nrows = 2;
+  coo.ncols = 8;
+  for (Index c = 0; c < 8; ++c) {
+    coo.row.push_back(0);
+    coo.col.push_back(c);
+    coo.val.push_back(1.0f);
+  }
+  coo.row.push_back(1);
+  coo.col.push_back(0);
+  coo.val.push_back(1.0f);
+  const Hyb h = Hyb::from_csr(Csr::from_coo(coo), 2);
+  EXPECT_EQ(h.ell.width, 2u);
+  EXPECT_EQ(h.coo.nnz(), 6u);  // row 0 overflow
+}
+
+TEST(Dia, RejectsMatricesWithTooManyDiagonals) {
+  const Csr a = Csr::from_coo(random_uniform(100, 100, 2000, 21));
+  EXPECT_THROW((void)Dia::from_csr(a, 4), spaden::Error);
+}
+
+TEST(Dia, TridiagonalHasThreeOffsets) {
+  const Csr a = Csr::from_coo(banded(50, 1, 1.0, 22));
+  const Dia d = Dia::from_csr(a);
+  EXPECT_EQ(d.offsets, (std::vector<int>{-1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace spaden::mat

@@ -1,0 +1,162 @@
+// The reverse-engineered fragment register <-> thread mapping (paper §3).
+// These tests pin down every observable fact from Figures 1 and 2 plus the
+// indices Algorithms 2-4 depend on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <set>
+
+#include "tensorcore/fragment.hpp"
+
+namespace spaden::tc {
+namespace {
+
+TEST(FragmentMapping, TopLeftPortionIsRegisterPair01) {
+  // Paper §3: "The top-left portion of 64 elements corresponds to
+  // fragment.x[0,1]".
+  for (unsigned r = 0; r < 8; ++r) {
+    for (unsigned c = 0; c < 8; ++c) {
+      const auto [lane, reg] = frag_locate(FragUse::MatrixA, r, c);
+      EXPECT_LT(reg, 2u) << "(" << r << "," << c << ")";
+      (void)lane;
+    }
+  }
+}
+
+TEST(FragmentMapping, BottomRightPortionIsRegisterPair67) {
+  // Algorithm 4 reads acc_frag.x[6] for the bottom-right block.
+  for (unsigned r = 8; r < 16; ++r) {
+    for (unsigned c = 8; c < 16; ++c) {
+      const auto [lane, reg] = frag_locate(FragUse::Accumulator, r, c);
+      EXPECT_GE(reg, 6u);
+      EXPECT_LE(reg, 7u);
+      (void)lane;
+    }
+  }
+}
+
+TEST(FragmentMapping, EachThreadHoldsTwoConsecutiveElements) {
+  // Paper Fig. 1: "Within each portion, one thread controls two consecutive
+  // elements" — along a row for A/accumulator.
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    for (unsigned pair = 0; pair < 4; ++pair) {
+      const Coord c0 = frag_coord(FragUse::MatrixA, lane, pair * 2);
+      const Coord c1 = frag_coord(FragUse::MatrixA, lane, pair * 2 + 1);
+      EXPECT_EQ(c0.row, c1.row);
+      EXPECT_EQ(c0.col + 1, c1.col);
+    }
+  }
+}
+
+TEST(FragmentMapping, MatrixBIsColumnMajorWithinPortions) {
+  // The two consecutive elements run down a column, which is what lets
+  // Algorithm 2's vector decode make every column of a B portion equal to
+  // the x segment.
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    const Coord c0 = frag_coord(FragUse::MatrixB, lane, 0);
+    const Coord c1 = frag_coord(FragUse::MatrixB, lane, 1);
+    EXPECT_EQ(c0.col, c1.col);
+    EXPECT_EQ(c0.row + 1, c1.row);
+  }
+}
+
+TEST(FragmentMapping, Algorithm2VectorIndices) {
+  // Algorithm 2 lines 7-10: lane lid loads x[(lid & 3) << 1] and the next
+  // element. Those must land at portion-local rows 2*(lid%4) and +1 of the
+  // B fragment — i.e. B[r][c] = x[r] after the broadcast.
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    const unsigned b_pos1 = (lane & 3u) << 1;
+    const Coord c0 = frag_coord(FragUse::MatrixB, lane, 0);
+    const Coord c1 = frag_coord(FragUse::MatrixB, lane, 1);
+    EXPECT_EQ(c0.row % kPortionDim, b_pos1);
+    EXPECT_EQ(c1.row % kPortionDim, b_pos1 + 1);
+  }
+}
+
+TEST(FragmentMapping, Algorithm2MatrixBitPositions) {
+  // Algorithm 2 lines 1-3: lane lid decodes bits 2*lid and 2*lid+1 of the
+  // bitmap; bit k is block element (k/8, k%8). The A-fragment mapping must
+  // place lane lid's registers 0/1 exactly there.
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    const unsigned pos = 2 * lane;
+    const Coord c0 = frag_coord(FragUse::MatrixA, lane, 0);
+    const Coord c1 = frag_coord(FragUse::MatrixA, lane, 1);
+    EXPECT_EQ(c0.row, pos / 8);
+    EXPECT_EQ(c0.col, pos % 8);
+    EXPECT_EQ(c1.row, (pos + 1) / 8);
+    EXPECT_EQ(c1.col, (pos + 1) % 8);
+  }
+}
+
+TEST(FragmentMapping, Algorithm4ExtractionLanes) {
+  // Algorithm 4: lanes with lid % 4 == 0 hold column 0 of the top-left
+  // portion in x[0] (row lid/4) and portion-column 0 of the bottom-right in
+  // x[6].
+  for (unsigned lane = 0; lane < kLanes; lane += 4) {
+    const Coord tl = frag_coord(FragUse::Accumulator, lane, 0);
+    EXPECT_EQ(tl.col, 0u);
+    EXPECT_EQ(tl.row, lane / 4);
+    const Coord br = frag_coord(FragUse::Accumulator, lane, 6);
+    EXPECT_EQ(br.col, 8u);
+    EXPECT_EQ(br.row, 8 + lane / 4);
+  }
+}
+
+TEST(FragmentMapping, LocateInvertsCoord) {
+  for (const FragUse use : {FragUse::MatrixA, FragUse::MatrixB, FragUse::Accumulator}) {
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
+        const Coord c = frag_coord(use, lane, reg);
+        const auto [l2, r2] = frag_locate(use, c.row, c.col);
+        EXPECT_EQ(l2, lane);
+        EXPECT_EQ(r2, reg);
+      }
+    }
+  }
+}
+
+TEST(FragmentMapping, MappingIsABijection) {
+  // 32 lanes x 8 registers must cover all 256 fragment elements exactly.
+  for (const FragUse use : {FragUse::MatrixA, FragUse::MatrixB, FragUse::Accumulator}) {
+    std::set<std::pair<unsigned, unsigned>> covered;
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
+        const Coord c = frag_coord(use, lane, reg);
+        EXPECT_TRUE(covered.insert({c.row, c.col}).second);
+      }
+    }
+    EXPECT_EQ(covered.size(), 256u);
+  }
+}
+
+TEST(Fragment, MatrixRoundTripThroughRegisters) {
+  FragAcc frag;
+  std::array<std::array<float, kFragDim>, kFragDim> m{};
+  for (unsigned r = 0; r < kFragDim; ++r) {
+    for (unsigned c = 0; c < kFragDim; ++c) {
+      m[r][c] = static_cast<float>(r * 100 + c);
+    }
+  }
+  frag.from_matrix(m);
+  EXPECT_EQ(frag.to_matrix(), m);
+}
+
+TEST(Fragment, FillSetsEveryRegister) {
+  FragA frag;
+  frag.fill(half(2.0f));
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
+      EXPECT_EQ(frag.x(lane, reg).to_float(), 2.0f);
+    }
+  }
+}
+
+TEST(Fragment, InvalidCoordinatesRejected) {
+  EXPECT_THROW((void)frag_coord(FragUse::MatrixA, 32, 0), spaden::Error);
+  EXPECT_THROW((void)frag_coord(FragUse::MatrixA, 0, 8), spaden::Error);
+  EXPECT_THROW((void)frag_locate(FragUse::MatrixA, 16, 0), spaden::Error);
+}
+
+}  // namespace
+}  // namespace spaden::tc

@@ -1,0 +1,141 @@
+// Unit tests for the software binary16 implementation. Correct rounding is
+// load-bearing: bitBSR stores matrix values in half precision, so every
+// kernel's numerical verification depends on these conversions matching
+// IEEE 754 semantics.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace spaden {
+namespace {
+
+TEST(Half, ZeroRoundTrips) {
+  EXPECT_EQ(half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(half(0.0f).to_float(), 0.0f);
+  EXPECT_TRUE(half(-0.0f).is_zero());
+  EXPECT_TRUE(std::signbit(half(-0.0f).to_float()));
+}
+
+TEST(Half, KnownEncodings) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(half(-1.0f).bits(), 0xBC00u);
+  EXPECT_EQ(half(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7BFFu);  // largest finite
+  EXPECT_EQ(half(0.099975586f).bits(), 0x2E66u);
+}
+
+TEST(Half, ExactSmallIntegersRoundTrip) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    const half h(static_cast<float>(i));
+    EXPECT_EQ(h.to_float(), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(half(65520.0f).is_inf());  // rounds up to inf
+  EXPECT_TRUE(half(1e30f).is_inf());
+  EXPECT_TRUE(half(-1e30f).is_inf());
+  EXPECT_TRUE(half(-1e30f).signbit());
+  // 65519.996 rounds down to 65504.
+  EXPECT_EQ(half(65519.0f).bits(), 0x7BFFu);
+}
+
+TEST(Half, SubnormalsRepresented) {
+  const float smallest_subnormal = 0x1.0p-24f;
+  EXPECT_EQ(half(smallest_subnormal).bits(), 0x0001u);
+  EXPECT_EQ(half(smallest_subnormal).to_float(), smallest_subnormal);
+  const float largest_subnormal = 0x1.ff8p-15f;
+  EXPECT_EQ(half(largest_subnormal).bits(), 0x03FFu);
+  // Below half the smallest subnormal: flush to zero by rounding.
+  EXPECT_EQ(half(0x1.0p-26f).bits(), 0x0000u);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10): ties to
+  // even (1.0).
+  EXPECT_EQ(half(1.0f + 0x1.0p-11f).bits(), half(1.0f).bits());
+  // 1 + 3*2^-11 ties between 1+2^-10 and 1+2^-9: rounds to even (1+2^-9).
+  EXPECT_EQ(half(1.0f + 3.0f * 0x1.0p-11f).bits(), half(1.0f + 0x1.0p-9f).bits());
+  // Slightly above the tie rounds up.
+  EXPECT_EQ(half(1.0f + 0x1.02p-11f).bits(), half(1.0f + 0x1.0p-10f).bits());
+}
+
+TEST(Half, NanPropagates) {
+  const half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.is_nan());
+  EXPECT_FALSE(h.is_inf());
+  EXPECT_TRUE(std::isnan(h.to_float()));
+  EXPECT_FALSE(h == h);  // IEEE: NaN != NaN
+}
+
+TEST(Half, InfinityRoundTrips) {
+  const half inf = half::infinity();
+  EXPECT_TRUE(inf.is_inf());
+  EXPECT_TRUE(std::isinf(inf.to_float()));
+  EXPECT_EQ(half(std::numeric_limits<float>::infinity()).bits(), inf.bits());
+}
+
+TEST(Half, ArithmeticMatchesFloatThenRound) {
+  const half a(1.5f);
+  const half b(2.25f);
+  EXPECT_EQ((a + b).to_float(), 3.75f);
+  EXPECT_EQ((a * b).to_float(), 3.375f);
+  EXPECT_EQ((b - a).to_float(), 0.75f);
+  EXPECT_EQ((b / half(0.5f)).to_float(), 4.5f);
+  EXPECT_EQ((-a).to_float(), -1.5f);
+}
+
+TEST(Half, ComparisonSemantics) {
+  EXPECT_LT(half(1.0f), half(2.0f));
+  EXPECT_GT(half(-1.0f), half(-2.0f));
+  EXPECT_EQ(half(0.0f), half(-0.0f));  // signed zeros compare equal
+  EXPECT_LE(half(3.0f), half(3.0f));
+}
+
+TEST(Half, EveryBitPatternRoundTripsThroughFloat) {
+  // Property: half -> float -> half is the identity for every non-NaN
+  // pattern (float superset of half), and NaN stays NaN.
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(bits));
+    const half back(h.to_float());
+    if (h.is_nan()) {
+      EXPECT_TRUE(back.is_nan()) << "bits=" << bits;
+    } else {
+      EXPECT_EQ(back.bits(), h.bits()) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Half, RandomConversionErrorBounded) {
+  // Property: rounding error of float -> half is at most 2^-11 relative for
+  // normal-range values.
+  Rng rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    const float v = rng.next_float(-1000.0f, 1000.0f);
+    if (std::abs(v) < 0x1.0p-14f) {
+      continue;  // subnormal range has absolute, not relative, bounds
+    }
+    const float r = half(v).to_float();
+    EXPECT_LE(std::abs(r - v), std::abs(v) * 0x1.0p-11f + 1e-20f) << "v=" << v;
+  }
+}
+
+TEST(Half, Constants) {
+  EXPECT_EQ(half::max().to_float(), 65504.0f);
+  EXPECT_EQ(half::min_normal().to_float(), 0x1.0p-14f);
+  EXPECT_EQ(half::epsilon().to_float(), 0x1.0p-10f);
+  EXPECT_TRUE(half::quiet_nan().is_nan());
+}
+
+}  // namespace
+}  // namespace spaden

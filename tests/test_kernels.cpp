@@ -1,0 +1,210 @@
+// Correctness of every SpMV kernel against the fp64 host reference, across
+// matrix structures (random, banded, power-law, dataset profiles, edge
+// cases) and both device presets. This is the gate the paper's evaluation
+// implicitly relies on: a kernel's GFLOPS only counts if its y is right.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cctype>
+
+#include "kernels/internal.hpp"
+#include "kernels/kernel.hpp"
+#include "matrix/dataset.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::kern {
+namespace {
+
+struct Case {
+  const char* name;
+  mat::Csr matrix;
+};
+
+mat::Csr empty_rows_matrix() {
+  mat::Coo coo;
+  coo.nrows = 200;
+  coo.ncols = 200;
+  // Only every 7th row populated.
+  for (mat::Index r = 0; r < 200; r += 7) {
+    for (mat::Index c = 0; c < 5; ++c) {
+      coo.row.push_back(r);
+      coo.col.push_back((r * 13 + c * 41) % 200);
+      coo.val.push_back(0.25f + static_cast<float>(c));
+    }
+  }
+  return mat::Csr::from_coo(coo);
+}
+
+mat::Csr single_entry_matrix() {
+  mat::Coo coo;
+  coo.nrows = 33;
+  coo.ncols = 33;
+  coo.row = {17};
+  coo.col = {5};
+  coo.val = {0.5f};
+  return mat::Csr::from_coo(coo);
+}
+
+mat::Csr wide_row_matrix() {
+  // One long row (stress for vector kernels and DASP's long-row handling).
+  mat::Coo coo;
+  coo.nrows = 64;
+  coo.ncols = 2048;
+  for (mat::Index c = 0; c < 2048; c += 2) {
+    coo.row.push_back(3);
+    coo.col.push_back(c);
+    coo.val.push_back(0.125f);
+  }
+  coo.row.push_back(10);
+  coo.col.push_back(7);
+  coo.val.push_back(1.0f);
+  return mat::Csr::from_coo(coo);
+}
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = [] {
+    std::vector<Case> c;
+    c.push_back({"random_mid", mat::Csr::from_coo(mat::random_uniform(500, 500, 12000, 1))});
+    c.push_back({"random_sparse", mat::Csr::from_coo(mat::random_uniform(800, 800, 2000, 2))});
+    c.push_back({"rectangular", mat::Csr::from_coo(mat::random_uniform(300, 700, 5000, 3))});
+    c.push_back({"banded", mat::Csr::from_coo(mat::banded(600, 9, 0.6, 4))});
+    c.push_back({"powerlaw", mat::Csr::from_coo(mat::rmat(9, 12.0, 5))});
+    c.push_back({"dataset_cant", mat::load_dataset("cant", 0.02)});
+    c.push_back({"dataset_dense_blocks", mat::load_dataset("raefsky3", 0.05)});
+    c.push_back({"empty_rows", empty_rows_matrix()});
+    c.push_back({"single_entry", single_entry_matrix()});
+    c.push_back({"wide_row", wide_row_matrix()});
+    return c;
+  }();
+  return kCases;
+}
+
+class KernelCorrectness
+    : public ::testing::TestWithParam<std::tuple<Method, std::size_t, const char*>> {};
+
+TEST_P(KernelCorrectness, MatchesFp64Reference) {
+  const auto [method, case_idx, device_name] = GetParam();
+  const Case& c = cases()[case_idx];
+  sim::Device device(sim::device_by_name(device_name));
+  auto kernel = make_kernel(method);
+  kernel->prepare(device, c.matrix);
+  // verify_kernel throws on out-of-tolerance output.
+  const VerifyResult r = verify_kernel(*kernel, device, c.matrix);
+  EXPECT_TRUE(r.ok()) << c.name << ": err " << r.max_abs_err << " > " << r.tolerance;
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<Method, std::size_t, const char*>>& info) {
+  std::string m(method_name(std::get<0>(info.param)));
+  for (char& ch : m) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) {
+      ch = '_';
+    }
+  }
+  return m + "_" + std::string(cases()[std::get<1>(info.param)].name) + "_" +
+         std::get<2>(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsAllCases, KernelCorrectness,
+    ::testing::Combine(::testing::ValuesIn(all_methods()),
+                       ::testing::Range<std::size_t>(0, cases().size()),
+                       ::testing::Values("l40", "v100")),
+    param_name);
+
+TEST(Kernels, RepeatedRunsAreIdempotent) {
+  const mat::Csr a = mat::Csr::from_coo(mat::random_uniform(200, 200, 4000, 9));
+  sim::Device device(sim::l40());
+  auto kernel = make_kernel(Method::Spaden);
+  kernel->prepare(device, a);
+  std::vector<float> x(a.ncols, 0.5f);
+  auto xb = device.memory().upload(x);
+  auto y1 = device.memory().alloc<float>(a.nrows);
+  auto y2 = device.memory().alloc<float>(a.nrows);
+  (void)kernel->run(device, xb.cspan(), y1.span());
+  (void)kernel->run(device, xb.cspan(), y2.span());
+  EXPECT_EQ(y1.host(), y2.host());
+}
+
+TEST(Kernels, RunRejectsWrongVectorSizes) {
+  const mat::Csr a = mat::Csr::from_coo(mat::random_uniform(64, 64, 500, 10));
+  sim::Device device(sim::l40());
+  for (const Method m : all_methods()) {
+    auto kernel = make_kernel(m);
+    kernel->prepare(device, a);
+    auto bad_x = device.memory().alloc<float>(63);
+    auto y = device.memory().alloc<float>(64);
+    EXPECT_THROW((void)kernel->run(device, bad_x.cspan(), y.span()), spaden::Error)
+        << method_name(m);
+  }
+}
+
+TEST(Kernels, PrepValidatesInput) {
+  mat::Csr broken = mat::Csr::from_coo(mat::random_uniform(16, 16, 30, 11));
+  broken.col_idx[0] = 999;
+  sim::Device device(sim::l40());
+  auto kernel = make_kernel(Method::CusparseCsr);
+  EXPECT_THROW(kernel->prepare(device, broken), spaden::Error);
+}
+
+TEST(Kernels, FootprintOrderingMatchesFigure10b) {
+  // Paper Fig. 10b: Spaden has the smallest footprint; BSR and DASP the
+  // largest. Check on a representative mid-fill matrix.
+  const mat::Csr a = mat::load_dataset("cant", 0.05);
+  sim::Device device(sim::l40());
+  auto bytes_per_nnz = [&](Method m) {
+    auto kernel = make_kernel(m);
+    kernel->prepare(device, a);
+    return kernel->footprint().bytes_per_nnz(a.nnz());
+  };
+  const double spaden = bytes_per_nnz(Method::Spaden);
+  const double csr = bytes_per_nnz(Method::CusparseCsr);
+  const double bsr = bytes_per_nnz(Method::CusparseBsr);
+  const double dasp = bytes_per_nnz(Method::Dasp);
+  EXPECT_LT(spaden, csr);
+  EXPECT_LT(csr, bsr);
+  EXPECT_LT(spaden, dasp);
+  // Paper's absolute scale: Spaden ~2.85 B/nnz, CSR ~8 B/nnz.
+  EXPECT_NEAR(spaden, 2.85, 1.0);
+  EXPECT_NEAR(csr, 8.06, 1.0);
+}
+
+TEST(Kernels, MethodNamesAndRegistry) {
+  EXPECT_EQ(method_name(Method::Spaden), "Spaden");
+  EXPECT_EQ(method_name(Method::CusparseCsr), "cuSPARSE CSR");
+  EXPECT_EQ(all_methods().size(), 13u);
+  EXPECT_EQ(figure6_methods().size(), 6u);
+  for (const Method m : all_methods()) {
+    EXPECT_EQ(make_kernel(m)->method(), m);
+  }
+}
+
+TEST(Kernels, ChooseVectorWidthHeuristic) {
+  EXPECT_EQ(choose_vector_width(1.0), 2u);
+  EXPECT_EQ(choose_vector_width(3.0), 4u);
+  EXPECT_EQ(choose_vector_width(17.0), 32u);
+  EXPECT_EQ(choose_vector_width(1000.0), 32u);
+}
+
+TEST(Kernels, TensorCoreMethodsActuallyUseTensorCores) {
+  const mat::Csr a = mat::load_dataset("cant", 0.02);
+  sim::Device device(sim::l40());
+  for (const Method m : all_methods()) {
+    auto kernel = make_kernel(m);
+    kernel->prepare(device, a);
+    std::vector<float> x(a.ncols, 1.0f);
+    auto xb = device.memory().upload(x);
+    auto y = device.memory().alloc<float>(a.nrows);
+    const auto result = kernel->run(device, xb.cspan(), y.span());
+    const bool uses_tc =
+        result.stats.tc_mma_m16n16k16 > 0 || result.stats.tc_mma_m8n8k4 > 0;
+    const bool should = m == Method::Spaden || m == Method::Dasp ||
+                        m == Method::SpadenConventional || m == Method::SpadenUnpaired ||
+                        m == Method::SpadenWide;
+    EXPECT_EQ(uses_tc, should) << method_name(m);
+  }
+}
+
+}  // namespace
+}  // namespace spaden::kern

@@ -1,0 +1,83 @@
+// Device memory arena: address assignment, buffer ownership, spans.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "gpusim/memory.hpp"
+
+namespace spaden::sim {
+namespace {
+
+TEST(DeviceMemory, DistinctBuffersGetDisjointAlignedAddresses) {
+  DeviceMemory mem;
+  auto a = mem.alloc<float>(10);
+  auto b = mem.alloc<double>(5);
+  EXPECT_NE(a.device_addr(), b.device_addr());
+  EXPECT_EQ(a.device_addr() % 256, 0u);
+  EXPECT_EQ(b.device_addr() % 256, 0u);
+  // b starts after a's padded extent.
+  EXPECT_GE(b.device_addr(), a.device_addr() + 40);
+}
+
+TEST(DeviceMemory, UploadCopiesHostData) {
+  DeviceMemory mem;
+  std::vector<int> data{1, 2, 3};
+  auto buf = mem.upload(data);
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.host()[1], 2);
+  data[1] = 99;  // source mutation must not alias the device copy
+  EXPECT_EQ(buf.host()[1], 2);
+}
+
+TEST(DeviceMemory, ZeroInitializedAlloc) {
+  DeviceMemory mem;
+  auto buf = mem.alloc<float>(100);
+  for (const float v : buf.host()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(DeviceMemory, BytesAllocatedTracksPaddedTotal) {
+  DeviceMemory mem;
+  EXPECT_EQ(mem.bytes_allocated(), 0u);
+  (void)mem.alloc<std::uint8_t>(1);
+  EXPECT_EQ(mem.bytes_allocated(), 256u);  // padded to alignment
+  (void)mem.alloc<std::uint8_t>(257);
+  EXPECT_EQ(mem.bytes_allocated(), 256u + 512u);
+}
+
+TEST(DSpan, AddressArithmetic) {
+  DeviceMemory mem;
+  auto buf = mem.upload(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  auto s = buf.cspan();
+  EXPECT_EQ(s.addr_of(0), buf.device_addr());
+  EXPECT_EQ(s.addr_of(3), buf.device_addr() + 12);
+  EXPECT_EQ(s[2], 3.0f);
+}
+
+TEST(DSpan, SubspanBoundsChecked) {
+  DeviceMemory mem;
+  auto buf = mem.alloc<int>(10);
+  auto sub = buf.span().subspan(4, 3);
+  EXPECT_EQ(sub.size, 3u);
+  EXPECT_EQ(sub.addr, buf.device_addr() + 16);
+  EXPECT_THROW((void)buf.span().subspan(8, 3), spaden::Error);
+}
+
+TEST(DSpan, OutOfBoundsIndexingThrows) {
+  DeviceMemory mem;
+  auto buf = mem.alloc<int>(4);
+  EXPECT_THROW((void)buf.span()[4], spaden::Error);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  DeviceMemory mem;
+  auto a = mem.upload(std::vector<int>{7});
+  const std::uint64_t addr = a.device_addr();
+  Buffer<int> b = std::move(a);
+  EXPECT_EQ(b.device_addr(), addr);
+  EXPECT_EQ(b.host()[0], 7);
+}
+
+}  // namespace
+}  // namespace spaden::sim

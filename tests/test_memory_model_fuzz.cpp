@@ -1,0 +1,102 @@
+// Fuzzing the memory model: random warp access patterns cross-checked
+// against an independent reference computation of wavefronts/sector counts,
+// plus conservation properties of the cache hierarchy.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "gpusim/controller.hpp"
+#include "gpusim/warp.hpp"
+
+namespace spaden::sim {
+namespace {
+
+/// Reference wavefront count: unique 32 B sectors across the active lanes.
+std::uint64_t reference_wavefronts(const std::array<std::uint64_t, 32>& addrs,
+                                   const std::array<std::uint32_t, 32>& sizes,
+                                   std::uint32_t mask) {
+  std::set<std::uint64_t> sectors;
+  for (int lane = 0; lane < 32; ++lane) {
+    if ((mask >> lane) & 1u) {
+      const auto l = static_cast<std::size_t>(lane);
+      for (std::uint64_t s = addrs[l] / 32; s <= (addrs[l] + sizes[l] - 1) / 32; ++s) {
+        sectors.insert(s);
+      }
+    }
+  }
+  return sectors.size();
+}
+
+TEST(MemoryModelFuzz, WavefrontsMatchReferenceOnRandomPatterns) {
+  spaden::Rng rng(41);
+  KernelStats stats;
+  SectorCache l1(128 * 1024, 8);
+  SectorCache l2(1 << 22, 16);
+  MemoryController mc(&l1, &l2, &stats);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::array<std::uint64_t, 32> addrs{};
+    std::array<std::uint32_t, 32> sizes{};
+    const auto mask = static_cast<std::uint32_t>(rng.next_u64());
+    for (auto& a : addrs) {
+      a = rng.next_below(1 << 16);
+    }
+    for (auto& s : sizes) {
+      s = 1u << rng.next_below(4);  // 1, 2, 4 or 8 bytes
+    }
+    const std::uint64_t before = stats.wavefronts;
+    mc.access(addrs, sizes, mask, trial % 2 == 0);
+    ASSERT_EQ(stats.wavefronts - before, reference_wavefronts(addrs, sizes, mask))
+        << "trial " << trial;
+  }
+}
+
+TEST(MemoryModelFuzz, ByteConservationAcrossHierarchy) {
+  // Property: every wavefront is served exactly once — by L1, L2 or DRAM —
+  // so the byte totals always add up.
+  spaden::Rng rng(42);
+  KernelStats stats;
+  SectorCache l1(8 * 1024, 4);
+  SectorCache l2(64 * 1024, 8);
+  MemoryController mc(&l1, &l2, &stats);
+
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::array<std::uint64_t, 32> addrs{};
+    std::array<std::uint32_t, 32> sizes{};
+    for (auto& a : addrs) {
+      // Mix of hot (reused) and cold (streaming) regions stresses both
+      // hit and eviction paths.
+      a = rng.next_bool(0.5) ? rng.next_below(4096) : rng.next_below(1 << 24);
+    }
+    sizes.fill(4);
+    mc.access(addrs, sizes, 0xFFFFFFFFu, false);
+  }
+  EXPECT_EQ(stats.wavefronts * 32, stats.l1_hit_bytes + stats.l2_hit_bytes + stats.dram_bytes);
+  EXPECT_EQ(stats.sectors * 32, stats.l2_hit_bytes + stats.dram_bytes);
+  EXPECT_GT(stats.l1_hit_bytes, 0u);   // the hot region must hit L1 sometimes
+  EXPECT_GT(stats.dram_bytes, 0u);     // the cold region must miss everything
+}
+
+TEST(MemoryModelFuzz, CacheInclusionOfRepeatedAccess) {
+  // Property: immediately repeating any single access is always an L1 hit,
+  // regardless of history.
+  spaden::Rng rng(43);
+  KernelStats stats;
+  SectorCache l1(4 * 1024, 4);
+  SectorCache l2(1 << 20, 16);
+  MemoryController mc(&l1, &l2, &stats);
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  sizes.fill(4);
+  for (int trial = 0; trial < 1000; ++trial) {
+    addrs[0] = rng.next_below(1 << 20) & ~std::uint64_t{3};  // 4-aligned: one sector
+    mc.access(addrs, sizes, 0x1u, false);
+    const std::uint64_t l1_before = stats.l1_hit_bytes;
+    mc.access(addrs, sizes, 0x1u, false);
+    ASSERT_EQ(stats.l1_hit_bytes, l1_before + 32) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace spaden::sim

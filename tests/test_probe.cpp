@@ -1,0 +1,84 @@
+// The §3 reverse-engineering probe: re-runs the paper's experiment against
+// the emulated tensor core and checks the published observations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tensorcore/probe.hpp"
+
+namespace spaden::tc {
+namespace {
+
+TEST(Probe, VerifyReverseEngineeredLayoutPasses) {
+  EXPECT_NO_THROW(verify_reverse_engineered_layout());
+}
+
+TEST(Probe, RegisterLayoutTopLeftShowsOnly01) {
+  // Figure 2: after fragment.x[i] = i, the top-left 8x8 shows values 0 and
+  // 1 only, alternating along rows.
+  const ProbeGrid grid = probe_register_layout(FragUse::Accumulator);
+  for (unsigned r = 0; r < 8; ++r) {
+    for (unsigned c = 0; c < 8; ++c) {
+      EXPECT_EQ(grid[r][c], c % 2);
+    }
+  }
+}
+
+TEST(Probe, RegisterLayoutBottomRightShows67) {
+  const ProbeGrid grid = probe_register_layout(FragUse::Accumulator);
+  for (unsigned r = 8; r < 16; ++r) {
+    for (unsigned c = 8; c < 16; ++c) {
+      EXPECT_EQ(grid[r][c], 6 + c % 2);
+    }
+  }
+}
+
+TEST(Probe, ValidRegisterIndicesSpan0To7) {
+  // §3: "the valid register indices of the fragment only range from 0 to 7"
+  // — not 0..15 as one might expect from 256 elements / 32 threads.
+  const ProbeGrid grid = probe_register_layout(FragUse::MatrixA);
+  unsigned max_reg = 0;
+  for (const auto& row : grid) {
+    for (const unsigned v : row) {
+      max_reg = std::max(max_reg, v);
+    }
+  }
+  EXPECT_EQ(max_reg, 7u);
+}
+
+TEST(Probe, ThreadLayoutFirstRowMatchesFigure1) {
+  // Figure 1: fragment row 0 of the top-left portion is held by threads
+  // 0,0,1,1,2,2,3,3 (each thread two consecutive elements).
+  const ProbeGrid grid = probe_thread_layout(FragUse::MatrixA);
+  for (unsigned c = 0; c < 8; ++c) {
+    EXPECT_EQ(grid[0][c], c / 2);
+  }
+  // Row 1 continues with threads 4..7.
+  for (unsigned c = 0; c < 8; ++c) {
+    EXPECT_EQ(grid[1][c], 4 + c / 2);
+  }
+}
+
+TEST(Probe, PortionsRepeatThreadPattern) {
+  // Figure 1: the fragment consists of 4 repeated 8x8 portions — the thread
+  // layout of every portion is identical.
+  const ProbeGrid grid = probe_thread_layout(FragUse::Accumulator);
+  for (unsigned r = 0; r < 8; ++r) {
+    for (unsigned c = 0; c < 8; ++c) {
+      EXPECT_EQ(grid[r][c], grid[r + 8][c]);
+      EXPECT_EQ(grid[r][c], grid[r][c + 8]);
+      EXPECT_EQ(grid[r][c], grid[r + 8][c + 8]);
+    }
+  }
+}
+
+TEST(Probe, RenderGridShowsPortionSeparators) {
+  const std::string s = render_grid(probe_register_layout(FragUse::MatrixA));
+  EXPECT_NE(s.find('|'), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);
+  // 16 rows + 1 separator line.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(s.begin(), s.end(), '\n')), 17u);
+}
+
+}  // namespace
+}  // namespace spaden::tc

@@ -1,0 +1,102 @@
+// SDDMM kernels (the other §7 future-work operation): correctness against
+// the fp64 reference, output ordering, and bitmap-as-output-mask behaviour.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "kernels/sddmm.hpp"
+#include "matrix/bitbsr.hpp"
+#include "matrix/dataset.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::kern {
+namespace {
+
+void expect_close(const std::vector<float>& got, const std::vector<float>& want, double tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << "nonzero " << i;
+  }
+}
+
+class SddmmTest : public ::testing::TestWithParam<std::tuple<mat::Index, std::uint64_t>> {};
+
+TEST_P(SddmmTest, CsrKernelMatchesReference) {
+  const auto [depth, seed] = GetParam();
+  const mat::Csr p = mat::Csr::from_coo(mat::random_uniform(120, 140, 2000, seed));
+  const mat::Dense u = mat::random_dense(120, depth, seed + 1);
+  const mat::Dense v = mat::random_dense(140, depth, seed + 2);
+  sim::Device device(sim::l40());
+  const SddmmResult result = sddmm_csr(device, p, u, v);
+  expect_close(result.values, mat::sddmm_reference(p, u, v), sddmm_tolerance(depth, false));
+}
+
+TEST_P(SddmmTest, SpadenKernelMatchesReference) {
+  const auto [depth, seed] = GetParam();
+  const mat::Csr p = mat::Csr::from_coo(mat::random_uniform(120, 140, 2000, seed + 40));
+  const mat::Dense u = mat::random_dense(120, depth, seed + 41);
+  const mat::Dense v = mat::random_dense(140, depth, seed + 42);
+  sim::Device device(sim::l40());
+  const SddmmResult result = sddmm_spaden(device, p, u, v);
+  expect_close(result.values, mat::sddmm_reference(p, u, v), sddmm_tolerance(depth, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(DepthsAndSeeds, SddmmTest,
+                         ::testing::Combine(::testing::Values<mat::Index>(1, 4, 16, 17, 64),
+                                            ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(Sddmm, OutputInCsrNonzeroOrder) {
+  // A hand-built pattern whose nonzeros cross block boundaries checks the
+  // packed->CSR reorder explicitly.
+  mat::Coo coo;
+  coo.nrows = 16;
+  coo.ncols = 16;
+  coo.row = {0, 0, 3, 9, 15};
+  coo.col = {0, 9, 4, 12, 15};
+  coo.val = {1, 1, 1, 1, 1};
+  const mat::Csr p = mat::Csr::from_coo(coo);
+  mat::Dense u(16, 4);
+  mat::Dense v(16, 4);
+  for (mat::Index r = 0; r < 16; ++r) {
+    for (mat::Index d = 0; d < 4; ++d) {
+      u.at(r, d) = static_cast<float>(r) * 0.1f;
+      v.at(r, d) = static_cast<float>(r) * 0.01f + 0.02f;
+    }
+  }
+  sim::Device device(sim::l40());
+  const SddmmResult result = sddmm_spaden(device, p, u, v);
+  const auto ref = mat::sddmm_reference(p, u, v);
+  expect_close(result.values, ref, sddmm_tolerance(4, true));
+}
+
+TEST(Sddmm, OneWarpPerBlock) {
+  const mat::Csr p = mat::load_dataset("conf5", 0.01);
+  const mat::BitBsr bb = mat::BitBsr::from_csr(p);
+  const mat::Dense u = mat::random_dense(p.nrows, 8, 1);
+  const mat::Dense v = mat::random_dense(p.ncols, 8, 2);
+  sim::Device device(sim::l40());
+  const SddmmResult result = sddmm_spaden(device, p, u, v);
+  EXPECT_EQ(result.launch.stats.warps_launched, bb.num_blocks());
+  // One MMA per 16-deep tile per block.
+  EXPECT_EQ(result.launch.stats.tc_mma_m16n16k16, bb.num_blocks());
+}
+
+TEST(Sddmm, DeepFactorsTileOver16) {
+  const mat::Csr p = mat::Csr::from_coo(mat::random_uniform(64, 64, 600, 3));
+  const mat::BitBsr bb = mat::BitBsr::from_csr(p);
+  sim::Device device(sim::l40());
+  const SddmmResult result =
+      sddmm_spaden(device, p, mat::random_dense(64, 48, 4), mat::random_dense(64, 48, 5));
+  EXPECT_EQ(result.launch.stats.tc_mma_m16n16k16, 3 * bb.num_blocks());
+}
+
+TEST(Sddmm, ShapeMismatchRejected) {
+  const mat::Csr p = mat::Csr::from_coo(mat::random_uniform(16, 16, 30, 6));
+  sim::Device device(sim::l40());
+  EXPECT_THROW((void)sddmm_csr(device, p, mat::Dense(16, 4), mat::Dense(16, 5)),
+               spaden::Error);
+  EXPECT_THROW((void)sddmm_spaden(device, p, mat::Dense(15, 4), mat::Dense(16, 4)),
+               spaden::Error);
+}
+
+}  // namespace
+}  // namespace spaden::kern

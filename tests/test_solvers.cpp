@@ -1,0 +1,181 @@
+// Iterative solvers over the SpmvEngine: convergence on systems with known
+// solutions, device-method independence, and failure diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "matrix/generate.hpp"
+#include "solvers/solvers.hpp"
+
+namespace spaden::solve {
+namespace {
+
+/// A system with a manufactured solution: returns (A, b, x_true).
+struct System {
+  mat::Csr a;
+  std::vector<float> b;
+  std::vector<float> x_true;
+};
+
+System spd_system(mat::Index n, std::uint64_t seed) {
+  System s;
+  s.a = mat::banded_spd(n, 5, 0.6, seed);
+  s.x_true.resize(n);
+  for (mat::Index i = 0; i < n; ++i) {
+    s.x_true[i] = std::cos(0.05f * static_cast<float>(i));
+  }
+  const auto b64 = mat::spmv_reference(s.a, s.x_true);
+  s.b.assign(b64.begin(), b64.end());
+  return s;
+}
+
+/// Non-symmetric but strictly diagonally dominant (Jacobi/BiCGSTAB safe).
+System nonsymmetric_system(mat::Index n, std::uint64_t seed) {
+  System s;
+  mat::Coo coo = mat::banded(n, 3, 0.5, seed);
+  // Strengthen the diagonal beyond the off-diagonal row sums.
+  std::vector<double> row_sum(n, 0.0);
+  for (std::size_t i = 0; i < coo.nnz(); ++i) {
+    if (coo.row[i] != coo.col[i]) {
+      row_sum[coo.row[i]] += std::abs(static_cast<double>(coo.val[i]));
+    }
+  }
+  mat::Csr a = mat::Csr::from_coo(coo);
+  for (mat::Index r = 0; r < n; ++r) {
+    for (mat::Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      if (a.col_idx[i] == r) {
+        a.val[i] = static_cast<float>(row_sum[r] + 2.0);
+      }
+    }
+  }
+  s.a = std::move(a);
+  s.x_true.resize(n);
+  for (mat::Index i = 0; i < n; ++i) {
+    s.x_true[i] = 0.5f - 0.001f * static_cast<float>(i % 100);
+  }
+  const auto b64 = mat::spmv_reference(s.a, s.x_true);
+  s.b.assign(b64.begin(), b64.end());
+  return s;
+}
+
+void expect_solution(const SolveResult& r, const System& s, double tol) {
+  EXPECT_TRUE(r.converged) << "residual " << r.residual_norm << " after " << r.iterations;
+  ASSERT_EQ(r.x.size(), s.x_true.size());
+  for (std::size_t i = 0; i < r.x.size(); ++i) {
+    ASSERT_NEAR(r.x[i], s.x_true[i], tol) << i;
+  }
+  EXPECT_GT(r.modeled_device_seconds, 0.0);
+}
+
+TEST(ConjugateGradient, SolvesSpdSystem) {
+  const System s = spd_system(300, 1);
+  expect_solution(conjugate_gradient(s.a, s.b), s, 5e-3);
+}
+
+TEST(ConjugateGradient, RejectsIndefiniteMatrix) {
+  // -I is symmetric negative definite: p^T A p < 0 on the first step.
+  mat::Coo coo;
+  coo.nrows = 8;
+  coo.ncols = 8;
+  for (mat::Index i = 0; i < 8; ++i) {
+    coo.row.push_back(i);
+    coo.col.push_back(i);
+    coo.val.push_back(-1.0f);
+  }
+  EXPECT_THROW((void)conjugate_gradient(mat::Csr::from_coo(coo), std::vector<float>(8, 1.0f)),
+               spaden::Error);
+}
+
+TEST(ConjugateGradient, WorksWithSpadenMethod) {
+  const System s = spd_system(256, 2);
+  SolveOptions options;
+  options.engine.method = kern::Method::Spaden;
+  // binary16 matrix values limit the reachable residual; solve the rounded
+  // system's own solution instead of the fp32 one.
+  options.tolerance = 1e-3;
+  const SolveResult r = conjugate_gradient(s.a, s.b, options);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < r.x.size(); ++i) {
+    ASSERT_NEAR(r.x[i], s.x_true[i], 0.05) << i;
+  }
+}
+
+TEST(Bicgstab, SolvesNonsymmetricSystem) {
+  const System s = nonsymmetric_system(300, 3);
+  expect_solution(bicgstab(s.a, s.b), s, 5e-3);
+}
+
+TEST(Bicgstab, AlsoSolvesSpdSystem) {
+  const System s = spd_system(200, 4);
+  expect_solution(bicgstab(s.a, s.b), s, 5e-3);
+}
+
+TEST(Jacobi, ConvergesOnDiagonallyDominantSystem) {
+  const System s = nonsymmetric_system(200, 5);
+  SolveOptions options;
+  options.max_iterations = 500;
+  expect_solution(jacobi(s.a, s.b, options), s, 5e-3);
+}
+
+TEST(Jacobi, RejectsZeroDiagonal) {
+  mat::Coo coo;
+  coo.nrows = 4;
+  coo.ncols = 4;
+  coo.row = {0, 1, 2};  // row 3 has no diagonal
+  coo.col = {0, 1, 2};
+  coo.val = {1, 1, 1};
+  EXPECT_THROW((void)jacobi(mat::Csr::from_coo(coo), std::vector<float>(4, 1.0f)),
+               spaden::Error);
+}
+
+TEST(Jacobi, ReportsNonConvergenceHonestly) {
+  const System s = nonsymmetric_system(200, 6);
+  SolveOptions options;
+  options.max_iterations = 2;  // far too few
+  const SolveResult r = jacobi(s.a, s.b, options);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_GT(r.residual_norm, options.tolerance);
+}
+
+TEST(PowerMethod, FindsDominantEigenpair) {
+  // diag(10, 1, 1, ...) has dominant eigenvalue 10 with eigenvector e0.
+  mat::Coo coo;
+  const mat::Index n = 64;
+  coo.nrows = n;
+  coo.ncols = n;
+  for (mat::Index i = 0; i < n; ++i) {
+    coo.row.push_back(i);
+    coo.col.push_back(i);
+    coo.val.push_back(i == 0 ? 10.0f : 1.0f);
+  }
+  SolveOptions options;
+  options.tolerance = 1e-9;
+  const PowerResult r = power_method(mat::Csr::from_coo(coo), options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalue, 10.0, 1e-3);
+  EXPECT_NEAR(std::abs(r.eigenvector[0]), 1.0, 1e-3);
+}
+
+TEST(PowerMethod, EigenpairSatisfiesDefinition) {
+  // Property: A v ~= lambda v for the returned pair.
+  const mat::Csr a = mat::banded_spd(128, 4, 0.5, 7);
+  const PowerResult r = power_method(a);
+  ASSERT_TRUE(r.converged);
+  const auto av = mat::spmv_reference(a, r.eigenvector);
+  for (mat::Index i = 0; i < a.nrows; ++i) {
+    ASSERT_NEAR(av[i], r.eigenvalue * static_cast<double>(r.eigenvector[i]),
+                5e-3 * std::abs(r.eigenvalue));
+  }
+}
+
+TEST(Solvers, RejectNonSquareOrMismatchedRhs) {
+  const mat::Csr rect = mat::Csr::from_coo(mat::random_uniform(8, 10, 20, 8));
+  EXPECT_THROW((void)conjugate_gradient(rect, std::vector<float>(8)), spaden::Error);
+  const mat::Csr square = mat::Csr::from_coo(mat::random_uniform(8, 8, 20, 9));
+  EXPECT_THROW((void)bicgstab(square, std::vector<float>(7)), spaden::Error);
+}
+
+}  // namespace
+}  // namespace spaden::solve

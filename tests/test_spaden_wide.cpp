@@ -1,0 +1,106 @@
+// Spaden-16 (bitBSR16 tensor-core kernel): launch shape, MMA accounting and
+// its relationship to the paired 8x8 kernel, beyond the generic
+// correctness sweep.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "kernels/kernel.hpp"
+#include "matrix/bitbsr.hpp"
+#include "matrix/bitbsr_wide.hpp"
+#include "matrix/dataset.hpp"
+#include "matrix/generate.hpp"
+
+namespace spaden::kern {
+namespace {
+
+sim::LaunchResult run_once(Method m, const mat::Csr& a, sim::Device& device) {
+  auto kernel = make_kernel(m);
+  kernel->prepare(device, a);
+  std::vector<float> x(a.ncols);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.2f - 0.003f * static_cast<float>(i % 200);
+  }
+  auto xb = device.memory().upload(x);
+  auto y = device.memory().alloc<float>(a.nrows);
+  return kernel->run(device, xb.cspan(), y.span());
+}
+
+TEST(SpadenWide, OneWarpPer16RowBlockRowOneMmaPerBlock) {
+  const mat::Csr a = mat::load_dataset("cant", 0.02);
+  const mat::BitBsr16 bb = mat::BitBsr16::from_csr(a);
+  sim::Device device(sim::l40());
+  const auto result = run_once(Method::SpadenWide, a, device);
+  EXPECT_EQ(result.stats.warps_launched, bb.brows);
+  EXPECT_EQ(result.stats.tc_mma_m16n16k16, bb.num_blocks());
+}
+
+TEST(SpadenWide, SameRowsPerWarpAsPairedKernel) {
+  // Both kernels output 16 rows per warp: warp counts agree (up to the odd
+  // block-row the paired kernel pads).
+  const mat::Csr a = mat::load_dataset("conf5", 0.02);
+  sim::Device d1(sim::l40());
+  sim::Device d2(sim::l40());
+  const auto wide = run_once(Method::SpadenWide, a, d1);
+  const auto paired = run_once(Method::Spaden, a, d2);
+  EXPECT_EQ(wide.stats.warps_launched, paired.stats.warps_launched);
+}
+
+TEST(SpadenWide, FewerMmasOnClusteredStructure) {
+  // Wider blocks merge neighbours: on a banded matrix the 16x16 grid has
+  // fewer non-empty blocks than half the 8x8 count, so Spaden-16 issues
+  // fewer MMAs than the paired kernel's ceil-paired stream.
+  const mat::Csr a = mat::Csr::from_coo(mat::banded(2048, 12, 0.8, 5));
+  const mat::BitBsr b8 = mat::BitBsr::from_csr(a);
+  const mat::BitBsr16 b16 = mat::BitBsr16::from_csr(a);
+  ASSERT_LT(2 * b16.num_blocks(), b8.num_blocks());
+  sim::Device d1(sim::l40());
+  sim::Device d2(sim::l40());
+  const auto wide = run_once(Method::SpadenWide, a, d1);
+  const auto paired = run_once(Method::Spaden, a, d2);
+  EXPECT_LT(wide.stats.tc_mma_m16n16k16, paired.stats.tc_mma_m16n16k16);
+}
+
+TEST(SpadenWide, LoadsOnlyNonzeroValues) {
+  // The §4.3.3 property carries over to the wide decode: per-lane value
+  // loads equal nnz, not block capacity.
+  const mat::Csr a = mat::Csr::from_coo(mat::random_uniform(512, 512, 8000, 7));
+  sim::Device device(sim::l40());
+  const auto result = run_once(Method::SpadenWide, a, device);
+  // lane_loads = metadata scalar loads + x loads + exactly nnz value loads.
+  const mat::BitBsr16 bb = mat::BitBsr16::from_csr(a);
+  const std::uint64_t x_loads = bb.num_blocks() * 8 * sim::kWarpSize;  // 8 B-gathers/block
+  const std::uint64_t metadata = bb.num_blocks() * 6 /*4 bitmap words + col + offset*/ +
+                                 bb.brows * 2 /*row ptrs*/;
+  EXPECT_EQ(result.stats.lane_loads, a.nnz() + x_loads + metadata);
+}
+
+TEST(SpadenWide, HandlesPartialEdgeBlocks) {
+  // nrows = 23: one 16-block-row plus a partial one covering 7 rows.
+  mat::Coo coo;
+  coo.nrows = 23;
+  coo.ncols = 23;
+  for (mat::Index r = 0; r < 23; ++r) {
+    for (mat::Index k = 0; k < 3; ++k) {
+      coo.row.push_back(r);
+      coo.col.push_back((r * 7 + k * 5) % 23);
+      coo.val.push_back(0.5f);
+    }
+  }
+  const mat::Csr a = mat::Csr::from_coo(coo);
+  sim::Device device(sim::l40());
+  auto kernel = make_kernel(Method::SpadenWide);
+  kernel->prepare(device, a);
+  EXPECT_TRUE(verify_kernel(*kernel, device, a).ok());
+}
+
+TEST(SpadenWide, FootprintIsBitBsr16) {
+  const mat::Csr a = mat::load_dataset("rma10", 0.02);
+  const mat::BitBsr16 bb = mat::BitBsr16::from_csr(a);
+  sim::Device device(sim::l40());
+  auto kernel = make_kernel(Method::SpadenWide);
+  kernel->prepare(device, a);
+  EXPECT_EQ(kernel->footprint().total_bytes(), bb.footprint_bytes());
+}
+
+}  // namespace
+}  // namespace spaden::kern

@@ -1,0 +1,69 @@
+// Table/CSV rendering used by every bench binary.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace spaden {
+namespace {
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+  Table t({"Matrix", "GFLOPS"});
+  t.add_row({"cant", "406.12"});
+  t.add_row({"pwtk", "91.70"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Matrix"), std::string::npos);
+  EXPECT_NE(s.find("cant"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer-name", "10.25"});
+  const std::string s = t.to_string();
+  // The shorter number must be padded on the left (right alignment).
+  EXPECT_NE(s.find("  1.5 "), std::string::npos) << s;
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripPlainCells) {
+  Table t({"h1", "h2"});
+  t.add_row({"v1", "v2"});
+  EXPECT_EQ(t.to_csv(), "h1,h2\nv1,v2\n");
+}
+
+TEST(FmtHelpers, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 4), "3.1416");
+}
+
+TEST(FmtHelpers, FmtSi) {
+  EXPECT_EQ(fmt_si(1500.0, 1), "1.5K");
+  EXPECT_EQ(fmt_si(2.5e6, 1), "2.5M");
+  EXPECT_EQ(fmt_si(3.0e9, 0), "3G");
+  EXPECT_EQ(fmt_si(12.0, 0), "12");
+}
+
+TEST(FmtHelpers, FmtBytes) {
+  EXPECT_EQ(fmt_bytes(512.0, 0), "512 B");
+  EXPECT_EQ(fmt_bytes(2048.0, 1), "2.0 KiB");
+  EXPECT_EQ(fmt_bytes(3.0 * 1024 * 1024, 1), "3.0 MiB");
+}
+
+}  // namespace
+}  // namespace spaden

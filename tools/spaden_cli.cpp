@@ -1,0 +1,206 @@
+// spaden — command-line front end for the library.
+//
+//   spaden info <matrix>                 structure + format recommendation
+//   spaden spmv <matrix> [--method M] [--device l40|v100] [--iters N]
+//   spaden convert <in.mtx> <out.mtx> [--reorder rcm|degree]
+//   spaden datasets                      list the Table 1 registry
+//   spaden probe                         print the §3 reverse-engineering grids
+//
+// <matrix> is either a path to a Matrix Market file or the name of a
+// Table 1 dataset (synthesized at --scale, default 0.25).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/recommend.hpp"
+#include "core/spaden.hpp"
+#include "matrix/matrix.hpp"
+#include "tensorcore/probe.hpp"
+
+namespace {
+
+using namespace spaden;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string method;
+  std::string device = "l40";
+  std::string reorder;
+  double scale = 0.25;
+  int iters = 1;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      SPADEN_REQUIRE(i + 1 < argc, "missing value for %s", flag);
+      return argv[++i];
+    };
+    if (a == "--method") {
+      args.method = next("--method");
+    } else if (a == "--device") {
+      args.device = next("--device");
+    } else if (a == "--reorder") {
+      args.reorder = next("--reorder");
+    } else if (a == "--scale") {
+      args.scale = std::atof(next("--scale").c_str());
+    } else if (a == "--iters") {
+      args.iters = std::atoi(next("--iters").c_str());
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+mat::Csr load_matrix(const std::string& name, double scale) {
+  if (name.size() > 4 && name.substr(name.size() - 4) == ".mtx") {
+    return mat::read_matrix_market_file(name);
+  }
+  return mat::load_dataset(name, scale);
+}
+
+kern::Method method_by_name(const std::string& name) {
+  for (const kern::Method m : kern::all_methods()) {
+    if (name == std::string(kern::method_name(m))) {
+      return m;
+    }
+  }
+  // Also accept compact spellings.
+  if (name == "spaden") {
+    return kern::Method::Spaden;
+  }
+  if (name == "csr") {
+    return kern::Method::CusparseCsr;
+  }
+  if (name == "bsr") {
+    return kern::Method::CusparseBsr;
+  }
+  if (name == "dasp") {
+    return kern::Method::Dasp;
+  }
+  throw Error(strfmt("unknown method '%s'", name.c_str()));
+}
+
+int cmd_info(const Args& args) {
+  SPADEN_REQUIRE(args.positional.size() >= 2, "usage: spaden info <matrix>");
+  const mat::Csr a = load_matrix(args.positional[1], args.scale);
+  const mat::BitBsr bb = mat::BitBsr::from_csr(a);
+  const auto stats = mat::compute_block_stats(bb);
+  std::printf("matrix: %u x %u, %zu nonzeros (%.2f per row), bandwidth %u\n", a.nrows,
+              a.ncols, a.nnz(), a.avg_degree(), mat::bandwidth(a));
+  std::printf("bitBSR: Bnrow %u, Bnnz %zu, %.1f nnz/block, blocks %0.f%%/%0.f%%/%0.f%% "
+              "sparse/medium/dense\n\n",
+              bb.bnrow(), bb.bnnz(), stats.avg_block_nnz(), 100.0 * stats.sparse_ratio(),
+              100.0 * stats.medium_ratio(), 100.0 * stats.dense_ratio());
+  const auto rec = analysis::recommend(a, sim::device_by_name(args.device));
+  std::fputs(rec.summary().c_str(), stdout);
+  return 0;
+}
+
+int cmd_spmv(const Args& args) {
+  SPADEN_REQUIRE(args.positional.size() >= 2, "usage: spaden spmv <matrix> [--method M]");
+  const mat::Csr a = load_matrix(args.positional[1], args.scale);
+  EngineOptions options;
+  options.device = sim::device_by_name(args.device);
+  if (!args.method.empty()) {
+    options.method = method_by_name(args.method);
+  }
+  SpmvEngine engine(a, options);
+  std::printf("method %s on %s; preprocessing %.2f ms, footprint %.2f B/nnz\n",
+              std::string(kern::method_name(engine.chosen_method())).c_str(),
+              engine.device().name.c_str(), engine.prep().seconds * 1e3,
+              engine.prep().bytes_per_nnz);
+  std::vector<float> x(a.ncols, 1.0f);
+  std::vector<float> y;
+  for (int i = 0; i < std::max(args.iters, 1); ++i) {
+    const SpmvResult r = engine.multiply(x, y);
+    std::printf("iter %d: %.2f us modeled, %.1f GFLOP/s (bound by %s)\n", i,
+                r.modeled_seconds * 1e6, r.gflops, r.time.bound_by());
+  }
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  SPADEN_REQUIRE(args.positional.size() >= 3,
+                 "usage: spaden convert <in> <out.mtx> [--reorder rcm|degree]");
+  mat::Csr a = load_matrix(args.positional[1], args.scale);
+  if (!args.reorder.empty()) {
+    const mat::Permutation perm = args.reorder == "rcm" ? mat::reverse_cuthill_mckee(a)
+                                  : args.reorder == "degree"
+                                      ? mat::degree_order(a)
+                                      : throw Error(strfmt("unknown ordering '%s'",
+                                                           args.reorder.c_str()));
+    const mat::Index bw_before = mat::bandwidth(a);
+    a = mat::permute_symmetric(a, perm);
+    std::printf("reorder %s: bandwidth %u -> %u\n", args.reorder.c_str(), bw_before,
+                mat::bandwidth(a));
+  }
+  mat::write_matrix_market_file(args.positional[2], a.to_coo());
+  std::printf("wrote %s (%u x %u, %zu nnz)\n", args.positional[2].c_str(), a.nrows, a.ncols,
+              a.nnz());
+  return 0;
+}
+
+int cmd_datasets() {
+  std::printf("%-14s %10s %12s %8s %10s  %s\n", "name", "nrow", "nnz", "Bnrow", "Bnnz",
+              "in scope");
+  for (const auto& d : mat::datasets()) {
+    std::printf("%-14s %10u %12zu %8u %10zu  %s\n", d.name().c_str(), d.profile.nrow,
+                d.profile.nnz, d.expected_bnrow(), d.profile.bnnz,
+                d.meets_criteria ? "yes" : "no");
+  }
+  return 0;
+}
+
+int cmd_probe() {
+  std::printf("thread layout (Figure 1):\n%s\nregister layout (Figure 2):\n%s",
+              tc::render_grid(tc::probe_thread_layout(tc::FragUse::MatrixA)).c_str(),
+              tc::render_grid(tc::probe_register_layout(tc::FragUse::MatrixA)).c_str());
+  tc::verify_reverse_engineered_layout();
+  std::printf("\nlayout verified against the paper's §3 observations.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.positional.empty()) {
+      std::printf(
+          "usage: spaden <info|spmv|convert|datasets|probe> ...\n"
+          "  info <matrix>                     structure + format recommendation\n"
+          "  spmv <matrix> [--method M] [--device l40|v100] [--iters N]\n"
+          "  convert <in> <out.mtx> [--reorder rcm|degree]\n"
+          "  datasets                          list the Table 1 registry\n"
+          "  probe                             print the reverse-engineered layouts\n"
+          "matrices: a .mtx path or a dataset name (--scale, default 0.25)\n");
+      return 2;
+    }
+    const std::string& cmd = args.positional[0];
+    if (cmd == "info") {
+      return cmd_info(args);
+    }
+    if (cmd == "spmv") {
+      return cmd_spmv(args);
+    }
+    if (cmd == "convert") {
+      return cmd_convert(args);
+    }
+    if (cmd == "datasets") {
+      return cmd_datasets();
+    }
+    if (cmd == "probe") {
+      return cmd_probe();
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
