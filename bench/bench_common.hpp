@@ -8,6 +8,8 @@
 
 #include "analysis/experiment.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
+#include "gpusim/device.hpp"
 #include "matrix/dataset.hpp"
 
 namespace spaden::bench {
@@ -17,8 +19,9 @@ inline void print_banner(const char* experiment, double scale) {
   std::printf(
       "matrices synthesized from Table 1 statistics at scale %.4g "
       "(SPADEN_SCALE=1.0 for full size); GFLOPS are modeled on the simulated "
-      "device — see DESIGN.md\n\n",
-      scale);
+      "device — see DESIGN.md; simulating on %d host thread(s) "
+      "(SPADEN_SIM_THREADS to override)\n\n",
+      scale, sim::default_sim_threads());
 }
 
 /// Load a dataset with a progress line on stderr (generation of the larger
@@ -32,7 +35,14 @@ inline analysis::MethodRun run_with_progress(const sim::DeviceSpec& spec, kern::
                                              const mat::Csr& a, const std::string& name) {
   std::fprintf(stderr, "[run] %-14s %-12s on %s...\n",
                std::string(kern::method_name(m)).c_str(), name.c_str(), spec.name.c_str());
-  return analysis::run_method(spec, m, a, name);
+  Timer wall;
+  analysis::MethodRun run = analysis::run_method(spec, m, a, name);
+  // Host-side simulation cost (prepare + verify + timed run) — this is the
+  // simulator's own speed, not a modeled quantity.
+  std::fprintf(stderr, "[run]   done in %.2f s host wall-clock (%.3g warps/s, %d thread%s)\n",
+               wall.seconds(), run.host_warps_per_sec, run.sim_threads,
+               run.sim_threads == 1 ? "" : "s");
+  return run;
 }
 
 /// "1.63x (paper: 1.63x)" comparison cell.

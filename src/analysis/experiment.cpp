@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 
 namespace spaden::analysis {
 
@@ -37,7 +38,14 @@ MethodRun run_method(const sim::DeviceSpec& spec, kern::Method method, const mat
   }
   auto x_buf = device.memory().upload(x);
   auto y_buf = device.memory().alloc<float>(a.nrows);
+  Timer host_timer;
   const sim::LaunchResult launch = kernel->run(device, x_buf.cspan(), y_buf.span());
+  run.host_seconds = host_timer.seconds();
+  run.sim_threads = device.sim_threads();
+  run.host_warps_per_sec =
+      run.host_seconds > 0
+          ? static_cast<double>(launch.stats.warps_launched) / run.host_seconds
+          : 0.0;
 
   run.gflops = launch.gflops(a.nnz());
   run.modeled_seconds = launch.seconds();

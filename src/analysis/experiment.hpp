@@ -28,6 +28,13 @@ struct MethodRun {
   sim::KernelStats stats;
   sim::TimeBreakdown time;
 
+  // Host-side simulation cost of the timed run (NOT a modeled quantity):
+  // how long the simulator itself took, for tracking the parallel
+  // launcher's speedup. See SPADEN_SIM_THREADS.
+  double host_seconds = 0;
+  double host_warps_per_sec = 0;
+  int sim_threads = 1;
+
   double prep_seconds = 0;      ///< measured host preprocessing
   double prep_ns_per_nnz = 0;
   std::size_t footprint_bytes = 0;

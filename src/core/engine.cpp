@@ -19,6 +19,9 @@ struct SpmvEngine::Impl {
         method(options.method.value_or(auto_select(a))),
         device(options.device),
         kernel(kern::make_kernel(method)) {
+    if (options.sim_threads > 0) {
+      device.set_sim_threads(options.sim_threads);
+    }
     kernel->prepare(device, matrix);
     prep.seconds = kernel->prep_seconds();
     prep.ns_per_nnz = matrix.nnz() == 0

@@ -32,6 +32,9 @@ struct EngineOptions {
   std::optional<kern::Method> method;   ///< nullopt = Auto
   sim::DeviceSpec device = sim::l40();
   bool verify_first_run = true;         ///< check against fp64 reference once
+  /// Host threads for kernel simulation. 0 = SPADEN_SIM_THREADS env var,
+  /// falling back to hardware_concurrency; 1 = the exact serial launcher.
+  int sim_threads = 0;
 };
 
 /// Result of one multiply.

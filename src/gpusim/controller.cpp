@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace spaden::sim {
 
 namespace {
@@ -22,7 +24,12 @@ void append_sectors(std::uint64_t addr, std::uint32_t size, std::uint32_t sector
 struct SmallSectorList {
   std::array<std::uint64_t, 3 * MemoryController::kWarpSize> data;
   std::size_t count = 0;
-  void push_back(std::uint64_t v) { data[count++] = v; }
+  void push_back(std::uint64_t v) {
+    SPADEN_ASSERT(count < data.size(),
+                  "sector list overflow: warp instruction touches more than %zu sectors",
+                  data.size());
+    data[count++] = v;
+  }
 };
 
 }  // namespace
@@ -112,12 +119,16 @@ void MemoryController::access_atomic(const std::array<std::uint64_t, kWarpSize>&
     if ((mask >> lane) & 1u) {
       ++stats_->atomic_lane_ops;
       ++stats_->lane_stores;
-      // Intentionally unmerged: atomics to the same sector serialize at the
-      // L2 atomic unit, so every active lane pays a sector access.
-      const std::uint64_t sector =
-          addrs[static_cast<std::size_t>(lane)] / sector_bytes;
-      (void)sizes;
-      touch_sector(sector, /*is_store=*/true);
+      // Intentionally unmerged across lanes: atomics to the same sector
+      // serialize at the L2 atomic unit, so every active lane pays its
+      // sector accesses. Within a lane, charge every sector the access
+      // covers — an 8-byte atomic straddling a sector boundary costs two.
+      SmallSectorList lane_sectors;
+      append_sectors(addrs[static_cast<std::size_t>(lane)],
+                     sizes[static_cast<std::size_t>(lane)], sector_bytes, lane_sectors);
+      for (std::size_t i = 0; i < lane_sectors.count; ++i) {
+        touch_sector(lane_sectors.data[i], /*is_store=*/true);
+      }
     }
   }
 }

@@ -1,0 +1,40 @@
+#include "gpusim/device.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace spaden::sim {
+
+int default_sim_threads() {
+  if (const char* env = std::getenv("SPADEN_SIM_THREADS")) {
+    const int requested = std::atoi(env);
+    SPADEN_REQUIRE(requested >= 1 && requested <= 256,
+                   "SPADEN_SIM_THREADS=%s out of [1, 256]", env);
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void Device::set_sim_threads(int threads) {
+  SPADEN_REQUIRE(threads >= 1 && threads <= 256, "sim thread count %d out of [1, 256]",
+                 threads);
+  if (threads != threads_) {
+    threads_ = threads;
+    sms_.clear();  // rebuilt lazily with the new L2 slice size
+  }
+}
+
+void Device::ensure_sms() {
+  if (sms_.size() == static_cast<std::size_t>(threads_)) {
+    return;
+  }
+  sms_.clear();
+  sms_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    sms_.push_back(std::make_unique<VirtualSm>(spec_, threads_));
+  }
+}
+
+}  // namespace spaden::sim

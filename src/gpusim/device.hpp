@@ -1,21 +1,42 @@
-// The simulated GPU: memory, L2, counters and kernel launching.
+// The simulated GPU: memory, caches, counters and kernel launching.
 //
 // A kernel is any callable `void(WarpCtx&, std::uint64_t warp_id)`; the
-// launcher runs it for every warp in the grid. Warps execute sequentially on
-// the host but the model is warp-synchronous, so any kernel that would be
-// correct under CUDA's weak inter-warp ordering (our kernels only
-// communicate across warps through atomics) computes the same result.
+// launcher runs it for every warp in the grid. The model is warp-synchronous,
+// so any kernel that would be correct under CUDA's weak inter-warp ordering
+// (our kernels only communicate across warps through atomics) computes the
+// same result regardless of execution order.
 //
-// Fidelity note (documented limitation): warps run in grid order rather
-// than the hardware's interleaved schedule, which gives the L2 model mildly
-// optimistic temporal locality. This affects all methods equally and does
-// not change the traffic *ratios* the evaluation depends on.
+// Execution is parallelized across host threads by modeling what real
+// hardware does: the warp grid is partitioned into contiguous chunks
+// ("virtual SMs"), each running on its own std::thread with a private L1
+// model, a private slice of the L2 model, a private MemoryController and
+// private KernelStats. Per-thread stats are merged after the join, so
+// estimate_time sees the same aggregate counters either way. The thread
+// count comes from SPADEN_SIM_THREADS (default: hardware_concurrency);
+// threads=1 runs the original serial path bit-for-bit — one persistent L1/L2
+// pair in grid order, exactly the pre-parallel launcher.
+//
+// Fidelity notes (documented limitations, see docs/performance_model.md):
+//  * Warps run in grid order within a chunk rather than the hardware's
+//    interleaved schedule, which gives the cache models mildly optimistic
+//    temporal locality. This affects all methods equally.
+//  * With T>1 threads the L2 is modeled as T private capacity slices of
+//    size capacity/T rather than one shared array (the deterministic
+//    alternative to a shared locked cache, whose hit pattern would depend
+//    on thread interleaving). Counters are deterministic at a fixed T but
+//    drift slightly from the serial launcher's; threads=1 reproduces the
+//    serial counters exactly.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <exception>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "gpusim/cache.hpp"
 #include "gpusim/controller.hpp"
@@ -25,6 +46,10 @@
 #include "gpusim/warp.hpp"
 
 namespace spaden::sim {
+
+/// Simulation thread count from the environment: SPADEN_SIM_THREADS if set
+/// (clamped to [1, 256]), otherwise std::thread::hardware_concurrency().
+[[nodiscard]] int default_sim_threads();
 
 /// Result of one kernel launch: measured counters + modeled time.
 struct LaunchResult {
@@ -45,15 +70,24 @@ class Device {
       : spec_(std::move(spec)),
         l1_(spec_.l1_capacity_bytes, spec_.l1_ways, spec_.sector_bytes),
         l2_(spec_.l2_capacity_bytes, spec_.l2_ways, spec_.sector_bytes),
-        controller_(&l1_, &l2_, &scratch_stats_) {}
+        controller_(&l1_, &l2_, &scratch_stats_),
+        threads_(default_sim_threads()) {}
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] DeviceMemory& memory() { return memory_; }
+
+  /// Host threads used to execute launches. 1 = the exact serial launcher.
+  [[nodiscard]] int sim_threads() const { return threads_; }
+  void set_sim_threads(int threads);
 
   /// Drop cache contents (cold-cache experiments).
   void flush_caches() {
     l1_.flush();
     l2_.flush();
+    for (auto& sm : sms_) {
+      sm->l1.flush();
+      sm->l2.flush();
+    }
   }
 
   /// Run `kernel(ctx, warp_id)` for warp_id in [0, num_warps).
@@ -62,23 +96,90 @@ class Device {
     LaunchResult result;
     result.kernel_name = std::string(name);
     result.stats.warps_launched = num_warps;
-    controller_.set_stats(&result.stats);
-    WarpCtx ctx(&controller_, &result.stats);
-    for (std::uint64_t w = 0; w < num_warps; ++w) {
-      kernel(ctx, w);
+    if (threads_ <= 1) {
+      run_serial(num_warps, kernel, result.stats);
+    } else {
+      run_parallel(num_warps, kernel, result.stats);
     }
-    controller_.set_stats(&scratch_stats_);
     result.time = estimate_time(spec_, result.stats);
     return result;
   }
 
  private:
+  /// One virtual SM: the private cache state of one worker thread. The L1
+  /// has the full per-SM capacity; the L2 slice holds 1/T of the device L2.
+  /// Both persist across launches (same warm-up semantics as the serial
+  /// launcher's member caches).
+  struct VirtualSm {
+    VirtualSm(const DeviceSpec& spec, int num_sms)
+        : l1(spec.l1_capacity_bytes, spec.l1_ways, spec.sector_bytes),
+          l2(spec.l2_capacity_bytes / static_cast<std::uint64_t>(num_sms), spec.l2_ways,
+             spec.sector_bytes) {}
+    SectorCache l1;
+    SectorCache l2;
+  };
+
+  void ensure_sms();
+
+  template <typename Kernel>
+  void run_serial(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats) {
+    controller_.set_stats(&stats);
+    WarpCtx ctx(&controller_, &stats);
+    for (std::uint64_t w = 0; w < num_warps; ++w) {
+      kernel(ctx, w);
+    }
+    controller_.set_stats(&scratch_stats_);
+  }
+
+  template <typename Kernel>
+  void run_parallel(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats) {
+    ensure_sms();
+    const auto t_count = static_cast<std::uint64_t>(threads_);
+    const std::uint64_t chunk = (num_warps + t_count - 1) / t_count;
+    std::vector<KernelStats> local_stats(t_count);
+    std::vector<std::exception_ptr> errors(t_count);
+    std::vector<std::thread> workers;
+    workers.reserve(t_count);
+    for (std::uint64_t t = 0; t < t_count; ++t) {
+      workers.emplace_back([this, t, chunk, num_warps, &kernel, &local_stats, &errors] {
+        try {
+          VirtualSm& sm = *sms_[t];
+          MemoryController mc(&sm.l1, &sm.l2, &local_stats[t]);
+          WarpCtx ctx(&mc, &local_stats[t]);
+          const std::uint64_t lo = std::min(t * chunk, num_warps);
+          const std::uint64_t hi = std::min(lo + chunk, num_warps);
+          for (std::uint64_t w = lo; w < hi; ++w) {
+            kernel(ctx, w);
+          }
+        } catch (...) {
+          errors[t] = std::current_exception();
+        }
+      });
+    }
+    for (auto& worker : workers) {
+      worker.join();
+    }
+    for (const auto& error : errors) {
+      if (error) {
+        std::rethrow_exception(error);
+      }
+    }
+    // Deterministic merge in chunk order (all counters are commutative
+    // sums, so the aggregate equals the serial launcher's for any access
+    // pattern the private caches classify identically).
+    for (const KernelStats& s : local_stats) {
+      stats += s;
+    }
+  }
+
   DeviceSpec spec_;
   DeviceMemory memory_;
   SectorCache l1_;
   SectorCache l2_;
   KernelStats scratch_stats_;  // sink when no launch is active
   MemoryController controller_;
+  int threads_ = 1;
+  std::vector<std::unique_ptr<VirtualSm>> sms_;  // lazily sized to threads_
 };
 
 }  // namespace spaden::sim

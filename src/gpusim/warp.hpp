@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 
@@ -119,7 +120,10 @@ class WarpCtx {
     charge(OpClass::IntAlu, 1);
   }
 
-  /// Per-lane atomic add (atomicAdd on float).
+  /// Per-lane atomic add (atomicAdd on float). Genuinely atomic on the
+  /// host (CAS loop), so warps running on different simulation threads can
+  /// accumulate into shared y concurrently — the ordering of float adds is
+  /// then scheduler-dependent, exactly like atomicAdd on hardware.
   void atomic_add(DSpan<float> dst, const Lanes<std::uint32_t>& idx, const Lanes<float>& v,
                   std::uint32_t mask = kFullMask) {
     std::array<std::uint64_t, kWarpSize> addrs{};
@@ -129,7 +133,11 @@ class WarpCtx {
       if ((mask >> lane) & 1u) {
         SPADEN_ASSERT(idx[l] < dst.size, "atomic lane %d out of bounds: %u >= %zu", lane,
                       idx[l], dst.size);
-        dst.data[idx[l]] += v[l];
+        std::atomic_ref<float> cell(dst.data[idx[l]]);
+        float expected = cell.load(std::memory_order_relaxed);
+        while (!cell.compare_exchange_weak(expected, expected + v[l],
+                                           std::memory_order_relaxed)) {
+        }
         addrs[l] = dst.addr_of(idx[l]);
         sizes[l] = sizeof(float);
       }
@@ -142,8 +150,8 @@ class WarpCtx {
   std::uint32_t atomic_fetch_add(DSpan<std::uint32_t> counter, std::size_t idx,
                                  std::uint32_t delta) {
     SPADEN_ASSERT(idx < counter.size, "counter index out of bounds");
-    const std::uint32_t old = counter.data[idx];
-    counter.data[idx] += delta;
+    const std::uint32_t old = std::atomic_ref<std::uint32_t>(counter.data[idx])
+                                  .fetch_add(delta, std::memory_order_relaxed);
     std::array<std::uint64_t, kWarpSize> addrs{};
     std::array<std::uint32_t, kWarpSize> sizes{};
     addrs[0] = counter.addr_of(idx);

@@ -115,6 +115,20 @@ TEST_F(ControllerTest, AtomicsDoNotCoalesce) {
   EXPECT_EQ(stats_.atomic_lane_ops, 32u);
 }
 
+TEST_F(ControllerTest, AtomicStraddlingSectorChargesBothSectors) {
+  // An 8-byte atomic (e.g. a future atomicAdd on double) crossing the
+  // 32-byte boundary covers two sectors and must be charged for both, like
+  // the load/store path is.
+  std::array<std::uint64_t, 32> addrs{};
+  std::array<std::uint32_t, 32> sizes{};
+  addrs[0] = 28;
+  sizes[0] = 8;
+  mc_.access_atomic(addrs, sizes, 0x1u);
+  EXPECT_EQ(stats_.wavefronts, 2u);
+  EXPECT_EQ(stats_.atomic_lane_ops, 1u);
+  EXPECT_EQ(stats_.lane_stores, 1u);
+}
+
 TEST_F(ControllerTest, StatsAccumulateAcrossInstructions) {
   std::array<std::uint64_t, 32> addrs{};
   std::array<std::uint32_t, 32> sizes{};

@@ -149,6 +149,7 @@ TEST(Warp, AtomicAddAccumulatesCollidingLanes) {
 
 TEST(Warp, AtomicFetchAddSerializesAcrossWarps) {
   Device dev(tiny_spec());
+  dev.set_sim_threads(1);  // grid-order claims: a serial-launcher property
   auto counter = dev.memory().alloc<std::uint32_t>(1);
   std::vector<std::uint32_t> claims;
   dev.launch("t", 10, [&](WarpCtx& ctx, std::uint64_t) {
@@ -172,6 +173,7 @@ TEST(Warp, ChargeAccumulatesWeightedOps) {
 
 TEST(Warp, LaunchRunsEveryWarpOnce) {
   Device dev(tiny_spec());
+  dev.set_sim_threads(1);  // the host-side id log below is not thread-safe
   std::vector<std::uint64_t> ids;
   auto result = dev.launch("t", 17, [&](WarpCtx&, std::uint64_t w) { ids.push_back(w); });
   EXPECT_EQ(ids.size(), 17u);

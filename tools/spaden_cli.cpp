@@ -1,7 +1,7 @@
 // spaden — command-line front end for the library.
 //
 //   spaden info <matrix>                 structure + format recommendation
-//   spaden spmv <matrix> [--method M] [--device l40|v100] [--iters N]
+//   spaden spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]
 //   spaden convert <in.mtx> <out.mtx> [--reorder rcm|degree]
 //   spaden datasets                      list the Table 1 registry
 //   spaden probe                         print the §3 reverse-engineering grids
@@ -29,6 +29,7 @@ struct Args {
   std::string reorder;
   double scale = 0.25;
   int iters = 1;
+  int threads = 0;  // 0 = SPADEN_SIM_THREADS / hardware default
 };
 
 Args parse(int argc, char** argv) {
@@ -49,6 +50,8 @@ Args parse(int argc, char** argv) {
       args.scale = std::atof(next("--scale").c_str());
     } else if (a == "--iters") {
       args.iters = std::atoi(next("--iters").c_str());
+    } else if (a == "--threads") {
+      args.threads = std::atoi(next("--threads").c_str());
     } else {
       args.positional.push_back(a);
     }
@@ -106,6 +109,7 @@ int cmd_spmv(const Args& args) {
   const mat::Csr a = load_matrix(args.positional[1], args.scale);
   EngineOptions options;
   options.device = sim::device_by_name(args.device);
+  options.sim_threads = args.threads;
   if (!args.method.empty()) {
     options.method = method_by_name(args.method);
   }
@@ -174,7 +178,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: spaden <info|spmv|convert|datasets|probe> ...\n"
           "  info <matrix>                     structure + format recommendation\n"
-          "  spmv <matrix> [--method M] [--device l40|v100] [--iters N]\n"
+          "  spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]\n"
           "  convert <in> <out.mtx> [--reorder rcm|degree]\n"
           "  datasets                          list the Table 1 registry\n"
           "  probe                             print the reverse-engineered layouts\n"
