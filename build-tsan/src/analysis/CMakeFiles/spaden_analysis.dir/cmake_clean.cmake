@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaden_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/spaden_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/spaden_analysis.dir/recommend.cpp.o"
+  "CMakeFiles/spaden_analysis.dir/recommend.cpp.o.d"
+  "libspaden_analysis.a"
+  "libspaden_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaden_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaden_common.dir/error.cpp.o"
+  "CMakeFiles/spaden_common.dir/error.cpp.o.d"
+  "CMakeFiles/spaden_common.dir/half.cpp.o"
+  "CMakeFiles/spaden_common.dir/half.cpp.o.d"
+  "CMakeFiles/spaden_common.dir/rng.cpp.o"
+  "CMakeFiles/spaden_common.dir/rng.cpp.o.d"
+  "CMakeFiles/spaden_common.dir/table.cpp.o"
+  "CMakeFiles/spaden_common.dir/table.cpp.o.d"
+  "libspaden_common.a"
+  "libspaden_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaden_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

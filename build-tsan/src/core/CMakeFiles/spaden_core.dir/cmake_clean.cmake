@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaden_core.dir/engine.cpp.o"
+  "CMakeFiles/spaden_core.dir/engine.cpp.o.d"
+  "libspaden_core.a"
+  "libspaden_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaden_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensorcore/fragment.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/__/tensorcore/fragment.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/__/tensorcore/fragment.cpp.o.d"
+  "/root/repo/src/tensorcore/probe.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/__/tensorcore/probe.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/__/tensorcore/probe.cpp.o.d"
+  "/root/repo/src/tensorcore/wmma.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/__/tensorcore/wmma.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/__/tensorcore/wmma.cpp.o.d"
+  "/root/repo/src/gpusim/cache.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/cache.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/cache.cpp.o.d"
+  "/root/repo/src/gpusim/controller.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/controller.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/controller.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/stats.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/stats.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/stats.cpp.o.d"
+  "/root/repo/src/gpusim/warp.cpp" "src/gpusim/CMakeFiles/spaden_gpusim.dir/warp.cpp.o" "gcc" "src/gpusim/CMakeFiles/spaden_gpusim.dir/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/spaden_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

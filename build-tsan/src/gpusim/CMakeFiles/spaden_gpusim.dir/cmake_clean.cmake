@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaden_gpusim.dir/__/tensorcore/fragment.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/__/tensorcore/fragment.cpp.o.d"
+  "CMakeFiles/spaden_gpusim.dir/__/tensorcore/probe.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/__/tensorcore/probe.cpp.o.d"
+  "CMakeFiles/spaden_gpusim.dir/__/tensorcore/wmma.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/__/tensorcore/wmma.cpp.o.d"
+  "CMakeFiles/spaden_gpusim.dir/cache.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/cache.cpp.o.d"
+  "CMakeFiles/spaden_gpusim.dir/controller.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/controller.cpp.o.d"
+  "CMakeFiles/spaden_gpusim.dir/device.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/spaden_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/spaden_gpusim.dir/stats.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/stats.cpp.o.d"
+  "CMakeFiles/spaden_gpusim.dir/warp.cpp.o"
+  "CMakeFiles/spaden_gpusim.dir/warp.cpp.o.d"
+  "libspaden_gpusim.a"
+  "libspaden_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaden_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

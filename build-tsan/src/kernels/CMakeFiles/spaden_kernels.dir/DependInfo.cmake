@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bitcoo_spmv.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/bitcoo_spmv.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/bitcoo_spmv.cpp.o.d"
+  "/root/repo/src/kernels/bsr_kernel.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/bsr_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/bsr_kernel.cpp.o.d"
+  "/root/repo/src/kernels/csr_adaptive.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/csr_adaptive.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/csr_adaptive.cpp.o.d"
+  "/root/repo/src/kernels/csr_scalar.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/csr_scalar.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/csr_scalar.cpp.o.d"
+  "/root/repo/src/kernels/csr_vector.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/csr_vector.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/csr_vector.cpp.o.d"
+  "/root/repo/src/kernels/csr_warp16.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/csr_warp16.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/csr_warp16.cpp.o.d"
+  "/root/repo/src/kernels/dasp.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/dasp.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/dasp.cpp.o.d"
+  "/root/repo/src/kernels/formats_device.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/formats_device.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/formats_device.cpp.o.d"
+  "/root/repo/src/kernels/gunrock.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/gunrock.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/gunrock.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/kernel_factory.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/kernel_factory.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/kernel_factory.cpp.o.d"
+  "/root/repo/src/kernels/lightspmv.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/lightspmv.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/lightspmv.cpp.o.d"
+  "/root/repo/src/kernels/sddmm.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/sddmm.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/sddmm.cpp.o.d"
+  "/root/repo/src/kernels/spaden_kernel.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/spaden_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/spaden_kernel.cpp.o.d"
+  "/root/repo/src/kernels/spaden_wide.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/spaden_wide.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/spaden_wide.cpp.o.d"
+  "/root/repo/src/kernels/spmm.cpp" "src/kernels/CMakeFiles/spaden_kernels.dir/spmm.cpp.o" "gcc" "src/kernels/CMakeFiles/spaden_kernels.dir/spmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/spaden_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpusim/CMakeFiles/spaden_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/matrix/CMakeFiles/spaden_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/bitbsr.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/bitbsr.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/bitbsr.cpp.o.d"
+  "/root/repo/src/matrix/bitbsr_wide.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/bitbsr_wide.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/bitbsr_wide.cpp.o.d"
+  "/root/repo/src/matrix/bitcoo.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/bitcoo.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/bitcoo.cpp.o.d"
+  "/root/repo/src/matrix/block_stats.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/block_stats.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/block_stats.cpp.o.d"
+  "/root/repo/src/matrix/bsr.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/bsr.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/bsr.cpp.o.d"
+  "/root/repo/src/matrix/coo.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/coo.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/coo.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/csr.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/csr.cpp.o.d"
+  "/root/repo/src/matrix/dataset.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/dataset.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/dataset.cpp.o.d"
+  "/root/repo/src/matrix/dense.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/dense.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/dense.cpp.o.d"
+  "/root/repo/src/matrix/ell.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/ell.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/ell.cpp.o.d"
+  "/root/repo/src/matrix/generate.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/generate.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/generate.cpp.o.d"
+  "/root/repo/src/matrix/io.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/io.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/io.cpp.o.d"
+  "/root/repo/src/matrix/reorder.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/reorder.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/reorder.cpp.o.d"
+  "/root/repo/src/matrix/spgemm.cpp" "src/matrix/CMakeFiles/spaden_matrix.dir/spgemm.cpp.o" "gcc" "src/matrix/CMakeFiles/spaden_matrix.dir/spgemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/spaden_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaden_matrix.dir/bitbsr.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/bitbsr.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/bitbsr_wide.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/bitbsr_wide.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/bitcoo.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/bitcoo.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/block_stats.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/block_stats.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/bsr.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/bsr.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/coo.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/coo.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/csr.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/csr.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/dataset.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/dataset.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/dense.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/dense.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/ell.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/ell.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/generate.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/generate.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/io.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/io.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/reorder.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/reorder.cpp.o.d"
+  "CMakeFiles/spaden_matrix.dir/spgemm.cpp.o"
+  "CMakeFiles/spaden_matrix.dir/spgemm.cpp.o.d"
+  "libspaden_matrix.a"
+  "libspaden_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaden_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

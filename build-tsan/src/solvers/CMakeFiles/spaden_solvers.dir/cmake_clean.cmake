@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaden_solvers.dir/solvers.cpp.o"
+  "CMakeFiles/spaden_solvers.dir/solvers.cpp.o.d"
+  "libspaden_solvers.a"
+  "libspaden_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaden_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitbsr.dir/test_bitbsr.cpp.o"
+  "CMakeFiles/test_bitbsr.dir/test_bitbsr.cpp.o.d"
+  "test_bitbsr"
+  "test_bitbsr.pdb"
+  "test_bitbsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitbsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitbsr_wide.dir/test_bitbsr_wide.cpp.o"
+  "CMakeFiles/test_bitbsr_wide.dir/test_bitbsr_wide.cpp.o.d"
+  "test_bitbsr_wide"
+  "test_bitbsr_wide.pdb"
+  "test_bitbsr_wide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitbsr_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

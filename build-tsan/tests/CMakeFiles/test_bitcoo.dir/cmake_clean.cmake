@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitcoo.dir/test_bitcoo.cpp.o"
+  "CMakeFiles/test_bitcoo.dir/test_bitcoo.cpp.o.d"
+  "test_bitcoo"
+  "test_bitcoo.pdb"
+  "test_bitcoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitcoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

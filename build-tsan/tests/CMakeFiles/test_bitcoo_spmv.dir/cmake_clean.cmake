@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitcoo_spmv.dir/test_bitcoo_spmv.cpp.o"
+  "CMakeFiles/test_bitcoo_spmv.dir/test_bitcoo_spmv.cpp.o.d"
+  "test_bitcoo_spmv"
+  "test_bitcoo_spmv.pdb"
+  "test_bitcoo_spmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitcoo_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsr.dir/test_bsr.cpp.o"
+  "CMakeFiles/test_bsr.dir/test_bsr.cpp.o.d"
+  "test_bsr"
+  "test_bsr.pdb"
+  "test_bsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

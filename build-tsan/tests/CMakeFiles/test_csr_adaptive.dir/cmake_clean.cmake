@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr_adaptive.dir/test_csr_adaptive.cpp.o"
+  "CMakeFiles/test_csr_adaptive.dir/test_csr_adaptive.cpp.o.d"
+  "test_csr_adaptive"
+  "test_csr_adaptive.pdb"
+  "test_csr_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dasp_kernel.dir/test_dasp_kernel.cpp.o"
+  "CMakeFiles/test_dasp_kernel.dir/test_dasp_kernel.cpp.o.d"
+  "test_dasp_kernel"
+  "test_dasp_kernel.pdb"
+  "test_dasp_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dasp_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

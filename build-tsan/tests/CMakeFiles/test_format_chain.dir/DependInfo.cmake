@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_format_chain.cpp" "tests/CMakeFiles/test_format_chain.dir/test_format_chain.cpp.o" "gcc" "tests/CMakeFiles/test_format_chain.dir/test_format_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/solvers/CMakeFiles/spaden_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/spaden_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/spaden_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kernels/CMakeFiles/spaden_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpusim/CMakeFiles/spaden_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/matrix/CMakeFiles/spaden_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/spaden_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

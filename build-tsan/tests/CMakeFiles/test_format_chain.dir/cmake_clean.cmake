@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_format_chain.dir/test_format_chain.cpp.o"
+  "CMakeFiles/test_format_chain.dir/test_format_chain.cpp.o.d"
+  "test_format_chain"
+  "test_format_chain.pdb"
+  "test_format_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_format_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

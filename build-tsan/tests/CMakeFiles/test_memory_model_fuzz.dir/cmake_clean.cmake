@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_model_fuzz.dir/test_memory_model_fuzz.cpp.o"
+  "CMakeFiles/test_memory_model_fuzz.dir/test_memory_model_fuzz.cpp.o.d"
+  "test_memory_model_fuzz"
+  "test_memory_model_fuzz.pdb"
+  "test_memory_model_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_model_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recommend.dir/test_recommend.cpp.o"
+  "CMakeFiles/test_recommend.dir/test_recommend.cpp.o.d"
+  "test_recommend"
+  "test_recommend.pdb"
+  "test_recommend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sddmm.dir/test_sddmm.cpp.o"
+  "CMakeFiles/test_sddmm.dir/test_sddmm.cpp.o.d"
+  "test_sddmm"
+  "test_sddmm.pdb"
+  "test_sddmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sddmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spaden_kernel.dir/test_spaden_kernel.cpp.o"
+  "CMakeFiles/test_spaden_kernel.dir/test_spaden_kernel.cpp.o.d"
+  "test_spaden_kernel"
+  "test_spaden_kernel.pdb"
+  "test_spaden_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spaden_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

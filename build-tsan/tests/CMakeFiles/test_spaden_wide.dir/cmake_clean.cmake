@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spaden_wide.dir/test_spaden_wide.cpp.o"
+  "CMakeFiles/test_spaden_wide.dir/test_spaden_wide.cpp.o.d"
+  "test_spaden_wide"
+  "test_spaden_wide.pdb"
+  "test_spaden_wide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spaden_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

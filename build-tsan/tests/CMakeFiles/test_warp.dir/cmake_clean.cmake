@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warp.dir/test_warp.cpp.o"
+  "CMakeFiles/test_warp.dir/test_warp.cpp.o.d"
+  "test_warp"
+  "test_warp.pdb"
+  "test_warp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

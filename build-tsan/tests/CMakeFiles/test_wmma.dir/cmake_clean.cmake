@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wmma.dir/test_wmma.cpp.o"
+  "CMakeFiles/test_wmma.dir/test_wmma.cpp.o.d"
+  "test_wmma"
+  "test_wmma.pdb"
+  "test_wmma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wmma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_wmma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaden_cli.dir/spaden_cli.cpp.o"
+  "CMakeFiles/spaden_cli.dir/spaden_cli.cpp.o.d"
+  "spaden"
+  "spaden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaden_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
