@@ -110,12 +110,12 @@ void BM_SectorCacheAccess(benchmark::State& state) {
   Rng rng(5);
   std::vector<std::uint64_t> addrs(8192);
   for (auto& a : addrs) {
-    a = rng.next_below(1 << 24) * 32;
+    a = rng.next_below(1u << 24) * 32;
   }
   for (auto _ : state) {
     std::uint64_t hits = 0;
     for (const std::uint64_t a : addrs) {
-      hits += cache.access(a) ? 1 : 0;
+      hits += cache.access(a) ? 1u : 0u;
     }
     benchmark::DoNotOptimize(hits);
   }

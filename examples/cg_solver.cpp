@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
 
     double max_err = 0;
     for (mat::Index i = 0; i < n; ++i) {
-      max_err = std::max(max_err, std::abs(static_cast<double>(result.x[i]) - x_true[i]));
+      max_err = std::max(
+          max_err, std::abs(static_cast<double>(result.x[i]) - static_cast<double>(x_true[i])));
     }
     std::printf(
         "[%s] %s in %d iterations, residual %.2e, max |x - x*| = %.2e,\n"

@@ -107,13 +107,13 @@ int main() {
   double max_score_err = 0;
   for (std::size_t i = 0; i < scores_ref.size(); ++i) {
     max_score_err = std::max(
-        max_score_err, std::abs(static_cast<double>(scores.values[i]) - scores_ref[i]));
+        max_score_err, std::abs(static_cast<double>(scores.values[i]) - static_cast<double>(scores_ref[i])));
   }
   const mat::Dense agg_ref = mat::spmm_reference(alpha, hw);
   double max_agg_err = 0;
   for (std::size_t i = 0; i < agg_ref.data.size(); ++i) {
     max_agg_err = std::max(
-        max_agg_err, std::abs(static_cast<double>(aggregated.c.data[i]) - agg_ref.data[i]));
+        max_agg_err, std::abs(static_cast<double>(aggregated.c.data[i]) - static_cast<double>(agg_ref.data[i])));
   }
   std::printf(
       "\nverification: max SDDMM err %.2e, max SpMM err %.2e (binary16 inputs,\n"

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
 
   std::printf("\ny[0..4] = ");
   for (mat::Index i = 0; i < 5 && i < a.nrows; ++i) {
-    std::printf("%.3f ", y[i]);
+    std::printf("%.3f ", static_cast<double>(y[i]));
   }
   std::printf("\nmodeled: %.2f us, %.1f GFLOP/s (bound by %s)\n",
               result.modeled_seconds * 1e6, result.gflops, result.time.bound_by());

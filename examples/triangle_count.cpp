@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
         ++p2;
       }
       if (p2 < a2.row_ptr[u + 1] && a2.col_idx[p2] == v) {
-        masked_sum += a2.val[p2];
+        masked_sum += static_cast<double>(a2.val[p2]);
       }
     }
   }

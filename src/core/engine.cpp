@@ -22,6 +22,7 @@ struct SpmvEngine::Impl {
     if (options.sim_threads > 0) {
       device.set_sim_threads(options.sim_threads);
     }
+    device.set_sanitize(options.sanitize);
     kernel->prepare(device, matrix);
     prep.seconds = kernel->prep_seconds();
     prep.ns_per_nnz = matrix.nnz() == 0
@@ -55,8 +56,11 @@ SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>&
     (void)kern::verify_kernel(*impl_->kernel, impl_->device, impl_->matrix);
     impl_->verified = true;
   }
-  auto x_buf = impl_->device.memory().upload(x);
-  auto y_buf = impl_->device.memory().alloc<float>(impl_->matrix.nrows);
+  auto x_buf = impl_->device.memory().upload(x, "x");
+  auto y_buf = impl_->device.memory().alloc<float>(impl_->matrix.nrows, "y");
+  // The device log accumulates across launches; clearing here scopes the
+  // report to this multiply even for kernels that launch more than once.
+  impl_->device.clear_sanitizer_log();
   const sim::LaunchResult launch =
       impl_->kernel->run(impl_->device, x_buf.cspan(), y_buf.span());
   y = y_buf.host();
@@ -66,6 +70,7 @@ SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>&
   result.gflops = launch.gflops(impl_->matrix.nnz());
   result.stats = launch.stats;
   result.time = launch.time;
+  result.sanitizer = impl_->device.sanitizer_log();
   return result;
 }
 

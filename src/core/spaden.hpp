@@ -35,6 +35,10 @@ struct EngineOptions {
   /// Host threads for kernel simulation. 0 = SPADEN_SIM_THREADS env var,
   /// falling back to hardware_concurrency; 1 = the exact serial launcher.
   int sim_threads = 0;
+  /// Run every launch under spaden-sancheck (memcheck + racecheck +
+  /// sync-lint). Defaults to the SPADEN_SANCHECK env var. Findings land in
+  /// SpmvResult::sanitizer; modeled time is unaffected.
+  bool sanitize = sim::default_sancheck();
 };
 
 /// Result of one multiply.
@@ -43,6 +47,9 @@ struct SpmvResult {
   double gflops = 0;
   sim::KernelStats stats;
   sim::TimeBreakdown time;
+  /// spaden-sancheck findings across every launch this multiply issued
+  /// (empty/enabled=false unless EngineOptions::sanitize is on).
+  sim::SanitizerReport sanitizer;
 };
 
 /// Preprocessing record (paper Fig. 10).

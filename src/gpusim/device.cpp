@@ -1,6 +1,8 @@
 #include "gpusim/device.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/error.hpp"
 
@@ -24,6 +26,15 @@ void Device::set_sim_threads(int threads) {
     threads_ = threads;
     sms_.clear();  // rebuilt lazily with the new L2 slice size
   }
+}
+
+bool default_sancheck() {
+  const char* env = std::getenv("SPADEN_SANCHECK");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+void Device::report_findings(const SanitizerReport& report) {
+  std::fputs(report.summary().c_str(), stderr);
 }
 
 void Device::ensure_sms() {

@@ -42,6 +42,7 @@
 #include "gpusim/controller.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/sanitizer.hpp"
 #include "gpusim/stats.hpp"
 #include "gpusim/warp.hpp"
 
@@ -51,11 +52,17 @@ namespace spaden::sim {
 /// (clamped to [1, 256]), otherwise std::thread::hardware_concurrency().
 [[nodiscard]] int default_sim_threads();
 
+/// Sanitizer default from the environment: SPADEN_SANCHECK set to anything
+/// but "" or "0" enables spaden-sancheck on new devices.
+[[nodiscard]] bool default_sancheck();
+
 /// Result of one kernel launch: measured counters + modeled time.
 struct LaunchResult {
   std::string kernel_name;
   KernelStats stats;
   TimeBreakdown time;
+  /// spaden-sancheck findings for this launch (enabled=false when off).
+  SanitizerReport sanitizer;
 
   [[nodiscard]] double seconds() const { return time.total; }
   /// SpMV throughput metric used throughout the paper's figures.
@@ -80,6 +87,17 @@ class Device {
   [[nodiscard]] int sim_threads() const { return threads_; }
   void set_sim_threads(int threads);
 
+  /// spaden-sancheck (memcheck + racecheck + sync-lint). Off the timing
+  /// path: counters and modeled time are identical with it on or off.
+  [[nodiscard]] bool sanitize() const { return sanitize_; }
+  void set_sanitize(bool enabled) { sanitize_ = enabled; }
+
+  /// Findings accumulated over every sanitized launch since the last clear
+  /// (kernels that issue several launches per logical operation fold into
+  /// this even when callers only keep the last LaunchResult).
+  [[nodiscard]] const SanitizerReport& sanitizer_log() const { return san_log_; }
+  void clear_sanitizer_log() { san_log_ = SanitizerReport{}; }
+
   /// Drop cache contents (cold-cache experiments).
   void flush_caches() {
     l1_.flush();
@@ -96,10 +114,25 @@ class Device {
     LaunchResult result;
     result.kernel_name = std::string(name);
     result.stats.warps_launched = num_warps;
+    std::vector<SanShard> shards;
+    if (sanitize_) {
+      const std::size_t n = threads_ <= 1 ? 1 : static_cast<std::size_t>(threads_);
+      shards.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        shards.emplace_back(std::max<std::size_t>(kSanMaxEvents / n, 1024));
+      }
+    }
     if (threads_ <= 1) {
-      run_serial(num_warps, kernel, result.stats);
+      run_serial(num_warps, kernel, result.stats, sanitize_ ? &shards[0] : nullptr);
     } else {
-      run_parallel(num_warps, kernel, result.stats);
+      run_parallel(num_warps, kernel, result.stats, sanitize_ ? &shards : nullptr);
+    }
+    if (sanitize_) {
+      result.sanitizer = sanitize_analyze(result.kernel_name, shards, memory_.registry());
+      san_log_.merge(result.sanitizer);
+      if (!result.sanitizer.clean()) {
+        report_findings(result.sanitizer);
+      }
     }
     result.time = estimate_time(spec_, result.stats);
     return result;
@@ -120,19 +153,28 @@ class Device {
   };
 
   void ensure_sms();
+  /// Print a non-clean per-launch report to stderr (out-of-line: keeps
+  /// iostream machinery out of the hot launch template).
+  static void report_findings(const SanitizerReport& report);
 
   template <typename Kernel>
-  void run_serial(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats) {
+  void run_serial(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats,
+                  SanShard* shard) {
     controller_.set_stats(&stats);
     WarpCtx ctx(&controller_, &stats);
+    ctx.set_sanitizer(shard);
     for (std::uint64_t w = 0; w < num_warps; ++w) {
+      if (shard != nullptr) {
+        shard->begin_warp(w);
+      }
       kernel(ctx, w);
     }
     controller_.set_stats(&scratch_stats_);
   }
 
   template <typename Kernel>
-  void run_parallel(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats) {
+  void run_parallel(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats,
+                    std::vector<SanShard>* shards) {
     ensure_sms();
     const auto t_count = static_cast<std::uint64_t>(threads_);
     const std::uint64_t chunk = (num_warps + t_count - 1) / t_count;
@@ -141,14 +183,20 @@ class Device {
     std::vector<std::thread> workers;
     workers.reserve(t_count);
     for (std::uint64_t t = 0; t < t_count; ++t) {
-      workers.emplace_back([this, t, chunk, num_warps, &kernel, &local_stats, &errors] {
+      workers.emplace_back([this, t, chunk, num_warps, &kernel, &local_stats, &errors,
+                            shards] {
         try {
           VirtualSm& sm = *sms_[t];
           MemoryController mc(&sm.l1, &sm.l2, &local_stats[t]);
           WarpCtx ctx(&mc, &local_stats[t]);
+          SanShard* shard = shards != nullptr ? &(*shards)[t] : nullptr;
+          ctx.set_sanitizer(shard);
           const std::uint64_t lo = std::min(t * chunk, num_warps);
           const std::uint64_t hi = std::min(lo + chunk, num_warps);
           for (std::uint64_t w = lo; w < hi; ++w) {
+            if (shard != nullptr) {
+              shard->begin_warp(w);
+            }
             kernel(ctx, w);
           }
         } catch (...) {
@@ -179,6 +227,8 @@ class Device {
   KernelStats scratch_stats_;  // sink when no launch is active
   MemoryController controller_;
   int threads_ = 1;
+  bool sanitize_ = default_sancheck();
+  SanitizerReport san_log_;
   std::vector<std::unique_ptr<VirtualSm>> sms_;  // lazily sized to threads_
 };
 

@@ -1,0 +1,48 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+
+namespace spaden::sim {
+
+std::string AllocInfo::describe() const {
+  std::string name = label.empty() ? strfmt("buffer#%llu", static_cast<unsigned long long>(id))
+                                   : strfmt("'%s'", label.c_str());
+  return strfmt("%s (%llu B, %u B elems, @0x%llx%s)", name.c_str(),
+                static_cast<unsigned long long>(bytes), elem_bytes,
+                static_cast<unsigned long long>(addr), live ? "" : ", freed");
+}
+
+std::string AllocRegistry::describe(std::uint64_t addr) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Containing allocation (live or freed) if any, else the nearest
+  // allocation below: the alignment gap past it is a redzone.
+  auto it = allocs_.upper_bound(addr);
+  if (it == allocs_.begin()) {
+    return strfmt("0x%llx (below device heap base)", static_cast<unsigned long long>(addr));
+  }
+  --it;
+  const AllocInfo& info = it->second;
+  if (info.contains(addr)) {
+    return strfmt("0x%llx = %s +%llu", static_cast<unsigned long long>(addr),
+                  info.describe().c_str(), static_cast<unsigned long long>(addr - info.addr));
+  }
+  return strfmt("0x%llx (redzone, %llu B past the end of %s)",
+                static_cast<unsigned long long>(addr),
+                static_cast<unsigned long long>(addr - info.end()), info.describe().c_str());
+}
+
+void AllocRegistry::define_bytes(std::uint64_t addr, std::uint64_t bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const AllocInfo* found = find_locked(addr);
+  if (found == nullptr || found->undef.empty()) {
+    return;
+  }
+  auto& info = allocs_.at(found->addr);
+  const std::uint64_t begin = addr - info.addr;
+  const std::uint64_t end = std::min(begin + bytes, info.bytes);
+  std::fill(info.undef.begin() + static_cast<std::ptrdiff_t>(begin),
+            info.undef.begin() + static_cast<std::ptrdiff_t>(end),
+            static_cast<std::uint8_t>(0));
+}
+
+}  // namespace spaden::sim

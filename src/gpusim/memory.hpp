@@ -5,9 +5,21 @@
 // address layout is a simple monotone bump allocator aligned to 256 bytes
 // (cudaMalloc's alignment), which preserves the property that distinct
 // arrays never share a sector.
+//
+// Every allocation is tracked in an AllocRegistry (base address, size, live
+// flag, label, and optional per-byte valid bits). The registry is what the
+// sanitizer (gpusim/sanitizer.hpp) checks warp accesses against: the 256 B
+// alignment gaps between buffers act as redzones, and freed buffers stay in
+// the registry so use-after-free is reported as such. Registry maintenance
+// happens only at allocation/free time, never on the kernel access path.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -36,24 +48,155 @@ struct DSpan {
   }
 
   [[nodiscard]] DSpan<T> subspan(std::size_t offset, std::size_t count) const {
-    SPADEN_REQUIRE(offset + count <= size, "subspan [%zu, %zu) exceeds size %zu", offset,
-                   offset + count, size);
+    // Checked as two non-wrapping comparisons: `offset + count <= size`
+    // overflows for huge `count` and would accept the call.
+    SPADEN_REQUIRE(offset <= size && count <= size - offset,
+                   "subspan [%zu, +%zu) exceeds size %zu", offset, count, size);
     return DSpan<T>{data + offset, addr + offset * sizeof(T), count};
   }
+};
+
+/// One tracked device allocation (live or freed).
+struct AllocInfo {
+  std::uint64_t id = 0;        ///< allocation order, 0-based
+  std::uint64_t addr = 0;      ///< base device address
+  std::uint64_t bytes = 0;     ///< exact (unpadded) extent
+  std::uint32_t elem_bytes = 1;
+  bool live = false;
+  std::string label;           ///< caller-provided name, may be empty
+  /// Per-byte shadow "undefined" bits: empty means the whole allocation is
+  /// initialized; otherwise undef[i] != 0 marks byte i as never written.
+  std::vector<std::uint8_t> undef;
+
+  [[nodiscard]] std::uint64_t end() const { return addr + bytes; }
+  [[nodiscard]] bool contains(std::uint64_t a) const { return a >= addr && a < end(); }
+  /// Short human identification: label (if any) + id + shape + base address.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Allocation table shared between a DeviceMemory and the Buffers it handed
+/// out. Thread-safe for alloc/free; the read-side lookups used by the
+/// sanitizer run post-launch on the host thread (allocations never happen
+/// while a kernel is in flight).
+class AllocRegistry {
+ public:
+  std::uint64_t on_alloc(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes,
+                         std::string label, bool undefined) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    AllocInfo info;
+    info.id = next_id_++;
+    info.addr = addr;
+    info.bytes = bytes;
+    info.elem_bytes = elem_bytes;
+    info.live = true;
+    info.label = std::move(label);
+    if (undefined) {
+      info.undef.assign(bytes, 1);
+    }
+    const std::uint64_t id = info.id;
+    allocs_[addr] = std::move(info);
+    return id;
+  }
+
+  void on_free(std::uint64_t addr) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = allocs_.find(addr);
+    if (it != allocs_.end()) {
+      it->second.live = false;
+      it->second.undef.clear();  // freed shadow state is no longer meaningful
+    }
+  }
+
+  /// Host wrote through Buffer::host(): conservatively treat the whole
+  /// allocation as initialized.
+  void mark_initialized(std::uint64_t addr) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = allocs_.find(addr);
+    if (it != allocs_.end()) {
+      it->second.undef.clear();
+    }
+  }
+
+  /// The allocation (live or freed) containing `addr`, or nullptr. The
+  /// returned pointer stays valid: entries are never erased.
+  [[nodiscard]] const AllocInfo* find(std::uint64_t addr) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return find_locked(addr);
+  }
+
+  /// Mark [addr, addr+bytes) as written (clears shadow undef bits).
+  void define_bytes(std::uint64_t addr, std::uint64_t bytes);
+
+  /// True if any live allocation still has undefined bytes (fast gate for
+  /// the sanitizer's uninitialized-read pass).
+  [[nodiscard]] bool any_undef() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [base, info] : allocs_) {
+      if (info.live && !info.undef.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Pretty-map a raw device address: "'y' (f32 buffer #3, 4096 B @0x10400) +16",
+  /// or a description of the redzone/gap it falls in.
+  [[nodiscard]] std::string describe(std::uint64_t addr) const;
+
+  [[nodiscard]] std::size_t live_allocations() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& [base, info] : allocs_) {
+      n += info.live ? 1 : 0;
+    }
+    return n;
+  }
+
+ private:
+  [[nodiscard]] const AllocInfo* find_locked(std::uint64_t addr) const {
+    auto it = allocs_.upper_bound(addr);
+    if (it == allocs_.begin()) {
+      return nullptr;
+    }
+    --it;
+    return it->second.contains(addr) ? &it->second : nullptr;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, AllocInfo> allocs_;
+  std::uint64_t next_id_ = 0;
 };
 
 class DeviceMemory;
 
 /// Owning device allocation. Movable, not copyable (like a cudaMalloc'd
-/// pointer wrapped in a unique handle).
+/// pointer wrapped in a unique handle). Destruction models cudaFree: the
+/// registry entry is marked dead so late accesses diagnose as use-after-free.
 template <typename T>
 class Buffer {
  public:
   Buffer() = default;
   Buffer(const Buffer&) = delete;
   Buffer& operator=(const Buffer&) = delete;
-  Buffer(Buffer&&) noexcept = default;
-  Buffer& operator=(Buffer&&) noexcept = default;
+  Buffer(Buffer&& o) noexcept
+      : storage_(std::move(o.storage_)),
+        addr_(o.addr_),
+        registry_(std::move(o.registry_)),
+        undef_(o.undef_) {
+    o.registry_ = nullptr;
+  }
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      storage_ = std::move(o.storage_);
+      addr_ = o.addr_;
+      registry_ = std::move(o.registry_);
+      undef_ = o.undef_;
+      o.registry_ = nullptr;
+    }
+    return *this;
+  }
+  ~Buffer() { release(); }
 
   [[nodiscard]] DSpan<T> span() {
     return DSpan<T>{storage_.data(), addr_, storage_.size()};
@@ -66,44 +209,85 @@ class Buffer {
   [[nodiscard]] std::uint64_t bytes() const { return storage_.size() * sizeof(T); }
 
   /// Host-side access for initialization and verification (models
-  /// cudaMemcpy, which is not part of kernel timing).
-  [[nodiscard]] std::vector<T>& host() { return storage_; }
+  /// cudaMemcpy, which is not part of kernel timing). Mutable access marks
+  /// the allocation initialized in the shadow state.
+  [[nodiscard]] std::vector<T>& host() {
+    if (undef_ && registry_ != nullptr) {
+      registry_->mark_initialized(addr_);
+      undef_ = false;
+    }
+    return storage_;
+  }
   [[nodiscard]] const std::vector<T>& host() const { return storage_; }
 
  private:
   friend class DeviceMemory;
-  Buffer(std::vector<T> storage, std::uint64_t addr)
-      : storage_(std::move(storage)), addr_(addr) {}
+  Buffer(std::vector<T> storage, std::uint64_t addr,
+         std::shared_ptr<AllocRegistry> registry, bool undefined)
+      : storage_(std::move(storage)),
+        addr_(addr),
+        registry_(std::move(registry)),
+        undef_(undefined) {}
+
+  void release() {
+    if (registry_ != nullptr) {
+      registry_->on_free(addr_);
+      registry_ = nullptr;
+    }
+  }
 
   std::vector<T> storage_;
   std::uint64_t addr_ = 0;
+  std::shared_ptr<AllocRegistry> registry_;
+  bool undef_ = false;  ///< allocation may still hold shadow-undefined bytes
 };
 
 class DeviceMemory {
  public:
-  /// Allocate `count` zero-initialized elements.
+  DeviceMemory() : registry_(std::make_shared<AllocRegistry>()) {}
+
+  /// Allocate `count` zero-initialized elements. The zero fill counts as
+  /// initialization (cudaMalloc + cudaMemset semantics); use alloc_undef for
+  /// cudaMalloc-without-memset semantics.
   template <typename T>
-  Buffer<T> alloc(std::size_t count) {
-    return Buffer<T>(std::vector<T>(count), reserve(count * sizeof(T)));
+  Buffer<T> alloc(std::size_t count, std::string label = {}) {
+    return make<T>(std::vector<T>(count), std::move(label), /*undefined=*/false);
+  }
+
+  /// Allocate without defining the contents: the storage is zero on the host
+  /// (so reads are safe to simulate) but the shadow state marks every byte
+  /// uninitialized until a kernel or Buffer::host() writes it.
+  template <typename T>
+  Buffer<T> alloc_undef(std::size_t count, std::string label = {}) {
+    return make<T>(std::vector<T>(count), std::move(label), /*undefined=*/true);
   }
 
   /// Allocate and copy host data (models cudaMemcpy H2D).
   template <typename T>
-  Buffer<T> upload(const std::vector<T>& host_data) {
-    return Buffer<T>(host_data, reserve(host_data.size() * sizeof(T)));
+  Buffer<T> upload(const std::vector<T>& host_data, std::string label = {}) {
+    return make<T>(host_data, std::move(label), /*undefined=*/false);
   }
 
   template <typename T>
-  Buffer<T> upload(std::vector<T>&& host_data) {
-    const std::uint64_t addr = reserve(host_data.size() * sizeof(T));
-    return Buffer<T>(std::move(host_data), addr);
+  Buffer<T> upload(std::vector<T>&& host_data, std::string label = {}) {
+    return make<T>(std::move(host_data), std::move(label), /*undefined=*/false);
   }
 
   [[nodiscard]] std::uint64_t bytes_allocated() const { return next_addr_ - kBase; }
+  [[nodiscard]] AllocRegistry& registry() { return *registry_; }
+  [[nodiscard]] const AllocRegistry& registry() const { return *registry_; }
 
  private:
   static constexpr std::uint64_t kBase = 0x10000;
   static constexpr std::uint64_t kAlign = 256;
+
+  template <typename T>
+  Buffer<T> make(std::vector<T> storage, std::string label, bool undefined) {
+    const std::uint64_t bytes = storage.size() * sizeof(T);
+    const std::uint64_t addr = reserve(bytes);
+    registry_->on_alloc(addr, bytes, sizeof(T), std::move(label), undefined);
+    return Buffer<T>(std::move(storage), addr, registry_, undefined);
+  }
 
   std::uint64_t reserve(std::uint64_t bytes) {
     const std::uint64_t addr = next_addr_;
@@ -113,6 +297,7 @@ class DeviceMemory {
   }
 
   std::uint64_t next_addr_ = kBase;
+  std::shared_ptr<AllocRegistry> registry_;
 };
 
 }  // namespace spaden::sim

@@ -1,0 +1,423 @@
+#include "gpusim/sanitizer.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/table.hpp"
+
+namespace spaden::sim {
+
+namespace {
+
+constexpr std::size_t kMaxDiagsPerKind = 8;
+constexpr std::size_t kMaxLints = 65536;
+constexpr std::size_t kMaxMergedDiags = 64;
+constexpr std::uint64_t kNoWarp = ~std::uint64_t{0};
+
+const char* access_name(SanAccess a) {
+  switch (a) {
+    case SanAccess::Load:
+      return "load";
+    case SanAccess::Store:
+      return "store";
+    case SanAccess::Atomic:
+      return "atomic";
+  }
+  return "?";
+}
+
+/// Collects findings: exact per-detector totals, detailed diags capped.
+class DiagSink {
+ public:
+  explicit DiagSink(SanitizerReport* report) : report_(report) {}
+
+  void add(SanKind kind, std::uint64_t warp, std::uint64_t addr, std::string message) {
+    const auto k = static_cast<std::size_t>(kind);
+    ++report_->counts[k];
+    if (emitted_[k] < kMaxDiagsPerKind) {
+      ++emitted_[k];
+      report_->diagnostics.push_back(SanDiag{kind, warp, addr, std::move(message)});
+    }
+  }
+
+ private:
+  SanitizerReport* report_;
+  std::array<std::size_t, kSanKindCount> emitted_{};
+};
+
+/// Cached containment test against the last matching allocation, so runs of
+/// accesses to the same buffer skip the registry lookup.
+class AllocCache {
+ public:
+  explicit AllocCache(AllocRegistry* registry) : registry_(registry) {}
+
+  /// Live allocation fully containing [addr, addr+size), or nullptr.
+  const AllocInfo* find(std::uint64_t addr, std::uint32_t size) {
+    if (cached_ != nullptr && cached_->live && cached_->contains(addr) &&
+        addr + size <= cached_->end()) {
+      return cached_;
+    }
+    const AllocInfo* a = registry_->find(addr);
+    if (a != nullptr && a->live && addr + size <= a->end()) {
+      cached_ = a;
+      return a;
+    }
+    return nullptr;
+  }
+
+ private:
+  AllocRegistry* registry_;
+  const AllocInfo* cached_ = nullptr;
+};
+
+void check_oob(const std::vector<SanShard>& shards, const std::string& kernel,
+               AllocRegistry& registry, DiagSink& sink,
+               const std::vector<const std::vector<SanEvent>*>& event_lists) {
+  AllocCache cache(&registry);
+  for (const auto* events : event_lists) {
+    for (const SanEvent& e : *events) {
+      if (cache.find(e.addr, e.size) == nullptr) {
+        sink.add(SanKind::OobAccess, e.warp, e.addr,
+                 strfmt("memcheck: kernel '%s' warp %llu lane %u: %s of %u bytes at %s is "
+                        "out of bounds",
+                        kernel.c_str(), static_cast<unsigned long long>(e.warp), e.lane,
+                        access_name(e.kind), e.size, registry.describe(e.addr).c_str()));
+      }
+    }
+  }
+  (void)shards;
+}
+
+/// Same-warp, same-instruction overlapping stores from different lanes: the
+/// intra-warp analog of racecheck's WAW hazard (which lane wins is
+/// undefined on hardware).
+void check_divergent_waw(const std::string& kernel, AllocRegistry& registry, DiagSink& sink,
+                         const std::vector<const std::vector<SanEvent>*>& event_lists) {
+  std::vector<SanEvent> group;
+  auto flush = [&] {
+    if (group.size() < 2 || group.front().kind != SanAccess::Store) {
+      group.clear();
+      return;
+    }
+    std::sort(group.begin(), group.end(), [](const SanEvent& x, const SanEvent& y) {
+      return x.addr != y.addr ? x.addr < y.addr : x.lane < y.lane;
+    });
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      const SanEvent& p = group[i - 1];
+      const SanEvent& q = group[i];
+      if (q.addr < p.addr + p.size) {
+        sink.add(SanKind::DivergentWaw, q.warp, q.addr,
+                 strfmt("racecheck: kernel '%s' warp %llu: lanes %u and %u of one store "
+                        "instruction overlap at %s (intra-warp write-after-write)",
+                        kernel.c_str(), static_cast<unsigned long long>(q.warp), p.lane,
+                        q.lane, registry.describe(q.addr).c_str()));
+      }
+    }
+    group.clear();
+  };
+  for (const auto* events : event_lists) {
+    for (const SanEvent& e : *events) {
+      if (!group.empty() &&
+          (group.front().warp != e.warp || group.front().seq != e.seq)) {
+        flush();
+      }
+      if (e.kind == SanAccess::Store) {
+        group.push_back(e);
+      }
+    }
+    flush();
+  }
+}
+
+/// Reads of shadow-undefined bytes. A byte counts as defined for warp w only
+/// if it was defined before the launch or stored earlier by w itself — a
+/// store by a *different* warp is unordered relative to the read (and shows
+/// up in racecheck), so it does not define the byte for w.
+void check_uninit(const std::string& kernel, AllocRegistry& registry, DiagSink& sink,
+                  const std::vector<const std::vector<SanEvent>*>& event_lists) {
+  if (!registry.any_undef()) {
+    return;
+  }
+  AllocCache cache(&registry);
+  std::unordered_set<std::uint64_t> warp_written;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> commits;
+  std::uint64_t current_warp = kNoWarp;
+  for (const auto* events : event_lists) {
+    for (const SanEvent& e : *events) {
+      if (e.warp != current_warp) {
+        current_warp = e.warp;
+        warp_written.clear();
+      }
+      const AllocInfo* a = cache.find(e.addr, e.size);
+      if (a == nullptr || a->undef.empty()) {
+        continue;  // OOB handled elsewhere; fully-defined buffers can't trip
+      }
+      if (e.kind != SanAccess::Store) {  // load, or the read half of an atomic
+        std::uint32_t undef_bytes = 0;
+        for (std::uint64_t b = e.addr; b < e.addr + e.size; ++b) {
+          if (a->undef[b - a->addr] != 0 && warp_written.count(b) == 0) {
+            ++undef_bytes;
+          }
+        }
+        if (undef_bytes != 0) {
+          sink.add(SanKind::UninitRead, e.warp, e.addr,
+                   strfmt("memcheck: kernel '%s' warp %llu lane %u: %s of %u bytes at %s "
+                          "reads %u uninitialized byte(s)",
+                          kernel.c_str(), static_cast<unsigned long long>(e.warp), e.lane,
+                          access_name(e.kind), e.size, registry.describe(e.addr).c_str(),
+                          undef_bytes));
+        }
+      }
+      if (e.kind != SanAccess::Load) {
+        for (std::uint64_t b = e.addr; b < e.addr + e.size; ++b) {
+          warp_written.insert(b);
+        }
+        commits.emplace_back(e.addr, e.size);
+      }
+    }
+  }
+  // Commit after the whole pass: a write only defines bytes for *later
+  // launches* (within the launch, cross-warp ordering is undefined).
+  for (const auto& [addr, size] : commits) {
+    registry.define_bytes(addr, size);
+  }
+}
+
+/// Conflicting accesses to the same byte from different warps where at least
+/// one side is a non-atomic store (atomic/atomic pairs serialize and are
+/// fine; load/load is fine; atomic-store vs plain-load is left unflagged,
+/// matching the polling idiom compute-sanitizer also tolerates on global
+/// memory).
+void check_races(const std::string& kernel, AllocRegistry& registry, DiagSink& sink,
+                 bool* truncated,
+                 const std::vector<const std::vector<SanEvent>*>& event_lists) {
+  struct ByteState {
+    std::uint64_t writers[2] = {kNoWarp, kNoWarp};  ///< non-atomic store warps
+    std::uint64_t atomics[2] = {kNoWarp, kNoWarp};
+    std::uint64_t readers[2] = {kNoWarp, kNoWarp};
+  };
+  auto add2 = [](std::uint64_t (&slot)[2], std::uint64_t warp) {
+    if (slot[0] == warp || slot[1] == warp) {
+      return;
+    }
+    if (slot[0] == kNoWarp) {
+      slot[0] = warp;
+    } else if (slot[1] == kNoWarp) {
+      slot[1] = warp;
+    }
+  };
+
+  std::unordered_map<std::uint64_t, ByteState> bytes;
+  // Pass 1: written bytes only — unwritten bytes cannot race.
+  for (const auto* events : event_lists) {
+    for (const SanEvent& e : *events) {
+      if (e.kind == SanAccess::Load) {
+        continue;
+      }
+      if (bytes.size() >= kSanMaxEvents && bytes.count(e.addr) == 0) {
+        *truncated = true;
+        continue;
+      }
+      for (std::uint64_t b = e.addr; b < e.addr + e.size; ++b) {
+        ByteState& st = bytes[b];
+        add2(e.kind == SanAccess::Store ? st.writers : st.atomics, e.warp);
+      }
+    }
+  }
+  if (bytes.empty()) {
+    return;
+  }
+  // Pass 2: readers of written bytes.
+  for (const auto* events : event_lists) {
+    for (const SanEvent& e : *events) {
+      if (e.kind != SanAccess::Load) {
+        continue;
+      }
+      for (std::uint64_t b = e.addr; b < e.addr + e.size; ++b) {
+        const auto it = bytes.find(b);
+        if (it != bytes.end()) {
+          add2(it->second.readers, e.warp);
+        }
+      }
+    }
+  }
+
+  // Deterministic conflict scan (sorted byte order), deduplicated per
+  // element of the owning buffer.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(bytes.size());
+  for (const auto& [b, st] : bytes) {
+    keys.push_back(b);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::set<std::uint64_t> reported_elems;
+  for (const std::uint64_t b : keys) {
+    const ByteState& st = bytes.at(b);
+    std::uint64_t other = kNoWarp;
+    const char* how = nullptr;
+    if (st.writers[0] == kNoWarp) {
+      continue;  // atomics only (or reads only): no non-atomic writer
+    }
+    if (st.writers[1] != kNoWarp) {
+      other = st.writers[1];
+      how = "non-atomic stores by both";
+    } else if (st.atomics[0] != kNoWarp && st.atomics[0] != st.writers[0]) {
+      other = st.atomics[0];
+      how = "a non-atomic store racing an atomic";
+    } else if (st.atomics[1] != kNoWarp && st.atomics[1] != st.writers[0]) {
+      other = st.atomics[1];
+      how = "a non-atomic store racing an atomic";
+    } else if (st.readers[0] != kNoWarp && st.readers[0] != st.writers[0]) {
+      other = st.readers[0];
+      how = "a non-atomic store racing a load";
+    } else if (st.readers[1] != kNoWarp && st.readers[1] != st.writers[0]) {
+      other = st.readers[1];
+      how = "a non-atomic store racing a load";
+    }
+    if (how == nullptr) {
+      continue;
+    }
+    const AllocInfo* a = registry.find(b);
+    const std::uint64_t elem_key =
+        a == nullptr ? b : a->addr + (b - a->addr) / a->elem_bytes * a->elem_bytes;
+    if (!reported_elems.insert(elem_key).second) {
+      continue;
+    }
+    sink.add(SanKind::InterWarpRace, st.writers[0], b,
+             strfmt("racecheck: kernel '%s': warps %llu and %llu conflict at %s (%s, no "
+                    "inter-warp ordering exists)",
+                    kernel.c_str(), static_cast<unsigned long long>(st.writers[0]),
+                    static_cast<unsigned long long>(other), registry.describe(b).c_str(),
+                    how));
+  }
+}
+
+}  // namespace
+
+const char* san_kind_name(SanKind k) {
+  switch (k) {
+    case SanKind::OobAccess:
+      return "memcheck.oob";
+    case SanKind::UninitRead:
+      return "memcheck.uninit-read";
+    case SanKind::InterWarpRace:
+      return "racecheck.inter-warp";
+    case SanKind::DivergentWaw:
+      return "racecheck.divergent-waw";
+    case SanKind::DivergentShuffle:
+      return "synclint.divergent-shuffle";
+    case SanKind::BarrierMismatch:
+      return "synclint.barrier-mismatch";
+  }
+  return "?";
+}
+
+std::uint64_t SanitizerReport::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts) {
+    sum += c;
+  }
+  return sum;
+}
+
+void SanitizerReport::merge(const SanitizerReport& other) {
+  enabled = enabled || other.enabled;
+  truncated = truncated || other.truncated;
+  if (kernel_name.empty()) {
+    kernel_name = other.kernel_name;
+  }
+  for (std::size_t i = 0; i < kSanKindCount; ++i) {
+    counts[i] += other.counts[i];
+  }
+  for (const SanDiag& d : other.diagnostics) {
+    if (diagnostics.size() >= kMaxMergedDiags) {
+      break;
+    }
+    diagnostics.push_back(d);
+  }
+}
+
+std::string SanitizerReport::summary() const {
+  if (!enabled) {
+    return "sancheck: disabled\n";
+  }
+  std::string out =
+      strfmt("sancheck: kernel '%s': %llu finding(s)%s\n", kernel_name.c_str(),
+             static_cast<unsigned long long>(total()),
+             truncated ? " (event budget exceeded; findings are a lower bound)" : "");
+  Table table({"detector", "findings"});
+  for (std::size_t i = 0; i < kSanKindCount; ++i) {
+    table.add_row({san_kind_name(static_cast<SanKind>(i)), std::to_string(counts[i])});
+  }
+  out += table.to_string();
+  for (const SanDiag& d : diagnostics) {
+    out += "  " + d.message + "\n";
+  }
+  return out;
+}
+
+void SanShard::divergent_shuffle(std::uint32_t mask, int lane, std::uint32_t src_lane) {
+  if (lints_.size() >= kMaxLints) {
+    ++dropped_;
+    return;
+  }
+  lints_.push_back(LintEvent{SanKind::DivergentShuffle, warp_, mask,
+                             (static_cast<std::uint32_t>(lane) << 8) | src_lane});
+}
+
+void SanShard::sync_warp(std::uint32_t mask) {
+  if ((mask & last_mask_) != last_mask_) {
+    if (lints_.size() >= kMaxLints) {
+      ++dropped_;
+    } else {
+      lints_.push_back(LintEvent{SanKind::BarrierMismatch, warp_, mask, last_mask_});
+    }
+  }
+  last_mask_ = mask;
+}
+
+SanitizerReport sanitize_analyze(std::string kernel_name, std::vector<SanShard>& shards,
+                                 AllocRegistry& registry) {
+  SanitizerReport report;
+  report.enabled = true;
+  report.kernel_name = std::move(kernel_name);
+  DiagSink sink(&report);
+
+  // Shards are ordered by worker index = ascending contiguous warp ranges,
+  // so iterating them in order visits (warp, seq) groups contiguously and
+  // the analysis is deterministic for any thread count.
+  std::vector<const std::vector<SanEvent>*> event_lists;
+  event_lists.reserve(shards.size());
+  for (SanShard& s : shards) {
+    report.truncated = report.truncated || s.dropped_ > 0;
+    event_lists.push_back(&s.events_);
+  }
+
+  check_oob(shards, report.kernel_name, registry, sink, event_lists);
+  check_divergent_waw(report.kernel_name, registry, sink, event_lists);
+  check_uninit(report.kernel_name, registry, sink, event_lists);
+  check_races(report.kernel_name, registry, sink, &report.truncated, event_lists);
+
+  for (const SanShard& s : shards) {
+    for (const auto& lint : s.lints_) {
+      if (lint.kind == SanKind::DivergentShuffle) {
+        sink.add(lint.kind, lint.warp, 0,
+                 strfmt("sync-lint: kernel '%s' warp %llu: shuffle under divergence — lane "
+                        "%u reads lane %u, inactive in mask 0x%08x",
+                        report.kernel_name.c_str(), static_cast<unsigned long long>(lint.warp),
+                        lint.detail >> 8, lint.detail & 0xFFu, lint.mask));
+      } else {
+        sink.add(lint.kind, lint.warp, 0,
+                 strfmt("sync-lint: kernel '%s' warp %llu: sync_warp(0x%08x) misses lanes "
+                        "active in the preceding op (mask 0x%08x)",
+                        report.kernel_name.c_str(), static_cast<unsigned long long>(lint.warp),
+                        lint.mask, lint.detail));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace spaden::sim

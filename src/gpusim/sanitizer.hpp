@@ -1,0 +1,156 @@
+// spaden-sancheck: an opt-in compute-sanitizer analog for the simulator.
+//
+// Three detectors, modeled on NVIDIA's compute-sanitizer tools:
+//
+//  * memcheck  — every warp access must fall inside one live allocation of
+//                the DeviceMemory bump allocator. The 256 B alignment gaps
+//                between buffers act as redzones, freed buffers diagnose as
+//                use-after-free, and shadow valid bits flag reads of device
+//                memory that was never written (alloc_undef allocations).
+//  * racecheck — per-launch access events are analyzed for conflicting
+//                non-atomic accesses to the same bytes from different warps
+//                (the simulator gives warps no ordering, exactly like CUDA),
+//                and for same-warp write-after-write overlap between
+//                divergent lanes of a single store instruction.
+//  * sync-lint — shuffles whose source lane is inactive under the executing
+//                mask (undefined in CUDA), and sync_warp barriers that lanes
+//                active in the preceding instruction do not arrive at.
+//
+// Recording is warp-side and lock-free: each simulation thread appends to
+// its own SanShard, and analysis runs on the host thread after the launch
+// joins, so the verdicts are deterministic regardless of thread schedule.
+// When the sanitizer is disabled no event is recorded, no shard exists, and
+// the only cost is a null-pointer test per warp memory instruction —
+// modeled time (KernelStats-derived) is identical either way.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/memory.hpp"
+
+namespace spaden::sim {
+
+enum class SanKind : std::uint8_t {
+  OobAccess = 0,     ///< memcheck: access outside any live allocation
+  UninitRead,        ///< memcheck: read of never-written device memory
+  InterWarpRace,     ///< racecheck: conflicting access from two warps
+  DivergentWaw,      ///< racecheck: same-instruction lane overlap on a store
+  DivergentShuffle,  ///< sync-lint: shuffle source lane inactive in mask
+  BarrierMismatch,   ///< sync-lint: active lane missing from sync_warp mask
+};
+inline constexpr std::size_t kSanKindCount = 6;
+
+[[nodiscard]] const char* san_kind_name(SanKind k);
+
+/// One formatted finding. `warp` is the primary (first observed) warp and
+/// `addr` the device address, when the detector has one.
+struct SanDiag {
+  SanKind kind = SanKind::OobAccess;
+  std::uint64_t warp = 0;
+  std::uint64_t addr = 0;
+  std::string message;
+};
+
+/// Result of sanitizing one kernel launch (or, for Device::sanitizer_log(),
+/// every launch since the log was cleared).
+struct SanitizerReport {
+  bool enabled = false;
+  bool truncated = false;  ///< event cap hit; analysis covered a prefix
+  std::string kernel_name;
+  std::array<std::uint64_t, kSanKindCount> counts{};
+  /// Detailed findings, capped per detector; counts[] always holds totals.
+  std::vector<SanDiag> diagnostics;
+
+  [[nodiscard]] std::uint64_t count(SanKind k) const {
+    return counts[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] bool clean() const { return total() == 0; }
+  void merge(const SanitizerReport& other);
+
+  /// Per-detector table (common/table) plus the finding lines.
+  [[nodiscard]] std::string summary() const;
+};
+
+enum class SanAccess : std::uint8_t { Load = 0, Store, Atomic };
+
+/// One lane's byte range of one warp memory instruction.
+struct SanEvent {
+  std::uint64_t addr = 0;
+  std::uint64_t warp = 0;
+  std::uint32_t seq = 0;  ///< per-shard instruction sequence number
+  std::uint16_t size = 0;
+  std::uint8_t lane = 0;
+  SanAccess kind = SanAccess::Load;
+};
+
+/// Per-simulation-thread event recorder; owned by Device::launch while a
+/// sanitized launch is in flight. All mutation happens on one worker thread.
+class SanShard {
+ public:
+  explicit SanShard(std::size_t max_events) : max_events_(max_events) {}
+
+  void begin_warp(std::uint64_t warp) {
+    warp_ = warp;
+    last_mask_ = 0xFFFF'FFFFu;
+  }
+
+  void begin_instr(SanAccess kind, std::uint32_t mask) {
+    kind_ = kind;
+    last_mask_ = mask;
+    ++seq_;
+  }
+
+  void lane_access(int lane, std::uint64_t addr, std::uint32_t size) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(SanEvent{addr, warp_, seq_, static_cast<std::uint16_t>(size),
+                               static_cast<std::uint8_t>(lane), kind_});
+  }
+
+  /// Non-memory warp op executed under `mask` (shuffle, ballot, reduction):
+  /// tracked so a following sync_warp can check arrival.
+  void note_op_mask(std::uint32_t mask) { last_mask_ = mask; }
+
+  void divergent_shuffle(std::uint32_t mask, int lane, std::uint32_t src_lane);
+  void sync_warp(std::uint32_t mask);
+
+ private:
+  friend SanitizerReport sanitize_analyze(std::string kernel_name,
+                                          std::vector<SanShard>& shards,
+                                          AllocRegistry& registry);
+
+  struct LintEvent {
+    SanKind kind = SanKind::DivergentShuffle;
+    std::uint64_t warp = 0;
+    std::uint32_t mask = 0;
+    std::uint32_t detail = 0;  ///< shuffle: (lane << 8) | src_lane; barrier: prior mask
+  };
+
+  std::size_t max_events_;
+  std::uint64_t warp_ = 0;
+  std::uint32_t seq_ = 0;
+  std::uint32_t last_mask_ = 0xFFFF'FFFFu;
+  SanAccess kind_ = SanAccess::Load;
+  std::uint64_t dropped_ = 0;
+  std::vector<SanEvent> events_;
+  std::vector<LintEvent> lints_;
+};
+
+/// Total event budget of one sanitized launch, split evenly across shards.
+/// Beyond it recording stops and the report is marked truncated.
+inline constexpr std::size_t kSanMaxEvents = std::size_t{1} << 21;  // ~50 MB of events
+
+/// Analyze the recorded shards of one launch against the allocation table.
+/// Shards must be ordered by worker index (= ascending warp ranges). Commits
+/// every observed store to the registry's shadow valid bits.
+[[nodiscard]] SanitizerReport sanitize_analyze(std::string kernel_name,
+                                               std::vector<SanShard>& shards,
+                                               AllocRegistry& registry);
+
+}  // namespace spaden::sim

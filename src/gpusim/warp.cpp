@@ -11,6 +11,12 @@ Lanes<std::uint32_t> lane_ids() {
 }
 
 float WarpCtx::reduce_add(Lanes<float> v, std::uint32_t mask) {
+  // The butterfly exchanges values between every lane pair internally (like
+  // __reduce_add_sync, defined for any mask), so no divergent-shuffle lint
+  // applies; only the executing mask is noted for barrier linting.
+  if (sanitizer() != nullptr) {
+    sanitizer()->note_op_mask(mask);
+  }
   // Inactive lanes contribute zero.
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (((mask >> lane) & 1u) == 0) {

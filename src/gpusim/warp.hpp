@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "gpusim/controller.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/sanitizer.hpp"
 #include "gpusim/stats.hpp"
 
 namespace spaden::sim {
@@ -48,6 +49,12 @@ class WarpCtx {
 
   [[nodiscard]] KernelStats& stats() { return *stats_; }
 
+  /// Attach a sanitizer event recorder (spaden-sancheck). Null (the default)
+  /// disables recording; the hooks then cost one pointer test per warp
+  /// instruction and modeled time is unaffected either way.
+  void set_sanitizer(SanShard* shard) { san_ = shard; }
+  [[nodiscard]] SanShard* sanitizer() const { return san_; }
+
   // ----- compute charging -------------------------------------------------
 
   /// Charge `lane_count` lane-operations of class `c` (e.g. 32 for a fully
@@ -78,6 +85,9 @@ class WarpCtx {
     }
     mc_->access(addrs, sizes, mask, /*is_store=*/false);
     charge(OpClass::IntAlu, static_cast<std::uint64_t>(std::popcount(mask)));  // address computation
+    if (san_ != nullptr) {
+      record_lanes(SanAccess::Load, addrs, sizes, mask);
+    }
     return out;
   }
 
@@ -99,6 +109,9 @@ class WarpCtx {
     }
     mc_->access(addrs, sizes, mask, /*is_store=*/true);
     charge(OpClass::IntAlu, static_cast<std::uint64_t>(std::popcount(mask)));
+    if (san_ != nullptr) {
+      record_lanes(SanAccess::Store, addrs, sizes, mask);
+    }
   }
 
   /// Broadcast scalar load: one lane loads, the value is shuffled to all
@@ -108,6 +121,10 @@ class WarpCtx {
     SPADEN_ASSERT(idx < src.size, "scalar load out of bounds: %zu >= %zu", idx, src.size);
     mc_->access_range(src.addr_of(idx), sizeof(T), /*is_store=*/false);
     charge(OpClass::IntAlu, 1);
+    if (san_ != nullptr) {
+      san_->begin_instr(SanAccess::Load, 0x1u);
+      san_->lane_access(0, src.addr_of(idx), sizeof(T));
+    }
     return src.data[idx];
   }
 
@@ -118,6 +135,10 @@ class WarpCtx {
     dst.data[idx] = value;
     mc_->access_range(dst.addr_of(idx), sizeof(T), /*is_store=*/true);
     charge(OpClass::IntAlu, 1);
+    if (san_ != nullptr) {
+      san_->begin_instr(SanAccess::Store, 0x1u);
+      san_->lane_access(0, dst.addr_of(idx), sizeof(T));
+    }
   }
 
   /// Per-lane atomic add (atomicAdd on float). Genuinely atomic on the
@@ -143,6 +164,9 @@ class WarpCtx {
       }
     }
     mc_->access_atomic(addrs, sizes, mask);
+    if (san_ != nullptr) {
+      record_lanes(SanAccess::Atomic, addrs, sizes, mask);
+    }
   }
 
   /// Single atomic fetch-add issued by one lane (dynamic work distribution:
@@ -157,6 +181,10 @@ class WarpCtx {
     addrs[0] = counter.addr_of(idx);
     sizes[0] = sizeof(std::uint32_t);
     mc_->access_atomic(addrs, sizes, 0x1u);
+    if (san_ != nullptr) {
+      san_->begin_instr(SanAccess::Atomic, 0x1u);
+      san_->lane_access(0, addrs[0], sizes[0]);
+    }
     return old;
   }
 
@@ -176,6 +204,15 @@ class WarpCtx {
     }
     stats_->shuffle_lane_ops += static_cast<std::uint64_t>(std::popcount(mask));
     charge(OpClass::Shuffle, static_cast<std::uint64_t>(std::popcount(mask)));
+    if (san_ != nullptr) {
+      san_->note_op_mask(mask);
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        const auto l = static_cast<std::size_t>(lane);
+        if (((mask >> lane) & 1u) && ((mask >> src[l]) & 1u) == 0) {
+          san_->divergent_shuffle(mask, lane, src[l]);
+        }
+      }
+    }
     return out;
   }
 
@@ -204,12 +241,38 @@ class WarpCtx {
       }
     }
     charge(OpClass::IntAlu, static_cast<std::uint64_t>(std::popcount(mask)));
+    if (san_ != nullptr) {
+      san_->note_op_mask(mask);
+    }
     return out;
   }
 
+  /// __syncwarp: converged-execution barrier over the lanes in `mask`. The
+  /// lockstep model needs no synchronization, so this is free of modeled
+  /// cost; under sancheck, sync-lint flags a mask that misses lanes active
+  /// in the preceding warp op (lanes that would never arrive on hardware).
+  void sync_warp(std::uint32_t mask = kFullMask) {
+    if (san_ != nullptr) {
+      san_->sync_warp(mask);
+    }
+  }
+
  private:
+  /// Feed one warp memory instruction's active-lane ranges to the sanitizer.
+  void record_lanes(SanAccess kind, const std::array<std::uint64_t, kWarpSize>& addrs,
+                    const std::array<std::uint32_t, kWarpSize>& sizes, std::uint32_t mask) {
+    san_->begin_instr(kind, mask);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      if ((mask >> lane) & 1u) {
+        san_->lane_access(lane, addrs[l], sizes[l]);
+      }
+    }
+  }
+
   MemoryController* mc_;
   KernelStats* stats_;
+  SanShard* san_ = nullptr;
 };
 
 }  // namespace spaden::sim

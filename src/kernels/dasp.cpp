@@ -195,6 +195,7 @@ class DaspKernel final : public SpmvKernel {
       ctx.scatter(y, yidx, yval, mask);
     });
     result.stats += tc_pass.stats;
+    result.sanitizer.merge(tc_pass.sanitizer);
 
     // CUDA-core path for short rows: edge-parallel with atomics (rows have
     // < 4 entries, so contention is negligible).
@@ -232,6 +233,7 @@ class DaspKernel final : public SpmvKernel {
             ctx.atomic_add(y, er, prod, mask);
           });
       result.stats += short_pass.stats;
+      result.sanitizer.merge(short_pass.sanitizer);
     }
 
     result.time = sim::estimate_time(device.spec(), result.stats);

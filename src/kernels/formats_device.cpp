@@ -4,9 +4,9 @@ namespace spaden::kern {
 
 DeviceCsr DeviceCsr::upload(sim::DeviceMemory& mem, const mat::Csr& a) {
   DeviceCsr d;
-  d.row_ptr = mem.upload(a.row_ptr);
-  d.col_idx = mem.upload(a.col_idx);
-  d.val = mem.upload(a.val);
+  d.row_ptr = mem.upload(a.row_ptr, "csr.row_ptr");
+  d.col_idx = mem.upload(a.col_idx, "csr.col_idx");
+  d.val = mem.upload(a.val, "csr.val");
   return d;
 }
 
@@ -18,9 +18,9 @@ void DeviceCsr::add_footprint(Footprint& fp) const {
 
 DeviceCoo DeviceCoo::upload(sim::DeviceMemory& mem, const mat::Coo& a) {
   DeviceCoo d;
-  d.row = mem.upload(a.row);
-  d.col = mem.upload(a.col);
-  d.val = mem.upload(a.val);
+  d.row = mem.upload(a.row, "coo.row");
+  d.col = mem.upload(a.col, "coo.col");
+  d.val = mem.upload(a.val, "coo.val");
   return d;
 }
 
@@ -34,9 +34,9 @@ DeviceBsr DeviceBsr::upload(sim::DeviceMemory& mem, const mat::Bsr& a) {
   DeviceBsr d;
   d.block_dim = a.block_dim;
   d.brows = a.brows;
-  d.block_row_ptr = mem.upload(a.block_row_ptr);
-  d.block_col = mem.upload(a.block_col);
-  d.val = mem.upload(a.val);
+  d.block_row_ptr = mem.upload(a.block_row_ptr, "bsr.block_row_ptr");
+  d.block_col = mem.upload(a.block_col, "bsr.block_col");
+  d.val = mem.upload(a.val, "bsr.val");
   return d;
 }
 
@@ -49,11 +49,11 @@ void DeviceBsr::add_footprint(Footprint& fp) const {
 DeviceBitBsr DeviceBitBsr::upload(sim::DeviceMemory& mem, const mat::BitBsr& a) {
   DeviceBitBsr d;
   d.brows = a.brows;
-  d.block_row_ptr = mem.upload(a.block_row_ptr);
-  d.block_col = mem.upload(a.block_col);
-  d.bitmap = mem.upload(a.bitmap);
-  d.val_offset = mem.upload(a.val_offset);
-  d.values = mem.upload(a.values);
+  d.block_row_ptr = mem.upload(a.block_row_ptr, "bitbsr.block_row_ptr");
+  d.block_col = mem.upload(a.block_col, "bitbsr.block_col");
+  d.bitmap = mem.upload(a.bitmap, "bitbsr.bitmap");
+  d.val_offset = mem.upload(a.val_offset, "bitbsr.val_offset");
+  d.values = mem.upload(a.values, "bitbsr.values");
   return d;
 }
 

@@ -64,6 +64,19 @@ TEST(DSpan, SubspanBoundsChecked) {
   EXPECT_THROW((void)buf.span().subspan(8, 3), spaden::Error);
 }
 
+TEST(DSpan, SubspanRejectsOverflowingCount) {
+  DeviceMemory mem;
+  auto buf = mem.alloc<int>(10);
+  // offset + count wraps std::size_t; the naive `offset + count <= size`
+  // check would accept this call.
+  constexpr std::size_t kHuge = ~std::size_t{0} - 2;
+  EXPECT_THROW((void)buf.span().subspan(4, kHuge), spaden::Error);
+  EXPECT_THROW((void)buf.span().subspan(11, 0), spaden::Error);
+  // Degenerate-but-valid edges.
+  EXPECT_EQ(buf.span().subspan(10, 0).size, 0u);
+  EXPECT_EQ(buf.span().subspan(0, 10).size, 10u);
+}
+
 TEST(DSpan, OutOfBoundsIndexingThrows) {
   DeviceMemory mem;
   auto buf = mem.alloc<int>(4);
@@ -77,6 +90,38 @@ TEST(Buffer, MoveTransfersOwnership) {
   Buffer<int> b = std::move(a);
   EXPECT_EQ(b.device_addr(), addr);
   EXPECT_EQ(b.host()[0], 7);
+  // The move keeps the registry entry live; only b's destruction frees it.
+  EXPECT_EQ(mem.registry().live_allocations(), 1u);
+}
+
+TEST(AllocRegistryTest, TracksLiveAndFreedAllocations) {
+  DeviceMemory mem;
+  std::uint64_t freed_addr = 0;
+  {
+    auto tmp = mem.alloc<float>(8, "tmp");
+    freed_addr = tmp.device_addr();
+    EXPECT_EQ(mem.registry().live_allocations(), 1u);
+  }
+  EXPECT_EQ(mem.registry().live_allocations(), 0u);
+  const AllocInfo* info = mem.registry().find(freed_addr);
+  ASSERT_NE(info, nullptr);  // entries survive free for use-after-free diags
+  EXPECT_FALSE(info->live);
+  EXPECT_EQ(info->label, "tmp");
+  EXPECT_EQ(info->bytes, 32u);
+}
+
+TEST(AllocRegistryTest, ShadowUndefStateFollowsWrites) {
+  DeviceMemory mem;
+  auto raw = mem.alloc_undef<float>(4, "raw");
+  EXPECT_TRUE(mem.registry().any_undef());
+  mem.registry().define_bytes(raw.device_addr(), 8);  // first two floats
+  const AllocInfo* info = mem.registry().find(raw.device_addr());
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->undef[0], 0);
+  EXPECT_EQ(info->undef[7], 0);
+  EXPECT_EQ(info->undef[8], 1);
+  (void)raw.host();  // host write defines the rest
+  EXPECT_FALSE(mem.registry().any_undef());
 }
 
 }  // namespace

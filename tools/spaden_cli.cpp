@@ -30,6 +30,7 @@ struct Args {
   double scale = 0.25;
   int iters = 1;
   int threads = 0;  // 0 = SPADEN_SIM_THREADS / hardware default
+  bool sancheck = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -52,6 +53,8 @@ Args parse(int argc, char** argv) {
       args.iters = std::atoi(next("--iters").c_str());
     } else if (a == "--threads") {
       args.threads = std::atoi(next("--threads").c_str());
+    } else if (a == "--sancheck") {
+      args.sancheck = true;
     } else {
       args.positional.push_back(a);
     }
@@ -110,6 +113,7 @@ int cmd_spmv(const Args& args) {
   EngineOptions options;
   options.device = sim::device_by_name(args.device);
   options.sim_threads = args.threads;
+  options.sanitize = options.sanitize || args.sancheck;
   if (!args.method.empty()) {
     options.method = method_by_name(args.method);
   }
@@ -120,12 +124,17 @@ int cmd_spmv(const Args& args) {
               engine.prep().bytes_per_nnz);
   std::vector<float> x(a.ncols, 1.0f);
   std::vector<float> y;
+  std::uint64_t findings = 0;
   for (int i = 0; i < std::max(args.iters, 1); ++i) {
     const SpmvResult r = engine.multiply(x, y);
     std::printf("iter %d: %.2f us modeled, %.1f GFLOP/s (bound by %s)\n", i,
                 r.modeled_seconds * 1e6, r.gflops, r.time.bound_by());
+    findings += r.sanitizer.total();
+    if (options.sanitize && i == 0) {
+      std::fputs(r.sanitizer.summary().c_str(), stdout);
+    }
   }
-  return 0;
+  return findings == 0 ? 0 : 3;
 }
 
 int cmd_convert(const Args& args) {
@@ -179,6 +188,7 @@ int main(int argc, char** argv) {
           "usage: spaden <info|spmv|convert|datasets|probe> ...\n"
           "  info <matrix>                     structure + format recommendation\n"
           "  spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]\n"
+          "                [--sancheck]      run under spaden-sancheck (exit 3 on findings)\n"
           "  convert <in> <out.mtx> [--reorder rcm|degree]\n"
           "  datasets                          list the Table 1 registry\n"
           "  probe                             print the reverse-engineered layouts\n"
