@@ -1,18 +1,103 @@
 // Shared plumbing for the figure benches: dataset iteration with progress
-// reporting, scale banner, and paper-value comparison rows.
+// reporting, scale banner, paper-value comparison rows, and the structured
+// JSON export every figure bench emits (BENCH_<experiment>.json).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "gpusim/device.hpp"
 #include "matrix/dataset.hpp"
 
 namespace spaden::bench {
+
+/// Bench-export schema identifier, bumped on breaking layout changes.
+inline constexpr const char* kBenchSchema = "spaden-bench-v1";
+
+/// Structured results collector: every figure bench funnels its MethodRuns
+/// (and derived scalar metrics like geomean speedups) through one of these
+/// and writes BENCH_<experiment>.json next to the binary — or under
+/// SPADEN_BENCH_DIR when set — so CI can diff runs without scraping stdout.
+class BenchJson {
+ public:
+  BenchJson(std::string experiment, double scale)
+      : experiment_(std::move(experiment)), scale_(scale) {}
+
+  void add(const analysis::MethodRun& run) { runs_.push_back(run); }
+
+  /// Derived scalar (e.g. "geomean_speedup_vs_dasp@L40" -> 2.32).
+  void add_metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  /// Destination: $SPADEN_BENCH_DIR/BENCH_<experiment>.json (or cwd).
+  [[nodiscard]] std::string path() const {
+    const char* dir = std::getenv("SPADEN_BENCH_DIR");
+    const std::string base = dir != nullptr && dir[0] != '\0' ? std::string(dir) : ".";
+    return base + "/BENCH_" + experiment_ + ".json";
+  }
+
+  /// Serialize and write the report; prints the destination to stderr.
+  void write() const {
+    JsonWriter w;
+    w.begin_object();
+    w.field("schema", kBenchSchema);
+    w.field("experiment", experiment_);
+    w.field("scale", scale_);
+    w.field("sim_threads", sim::default_sim_threads());
+    w.key("runs");
+    w.begin_array();
+    for (const analysis::MethodRun& run : runs_) {
+      w.begin_object();
+      w.field("method", std::string(kern::method_name(run.method)));
+      w.field("device", run.device_name);
+      w.field("matrix", run.matrix_name);
+      w.field("nnz", static_cast<std::uint64_t>(run.nnz));
+      w.field("gflops", run.gflops);
+      w.field("modeled_seconds", run.modeled_seconds);
+      w.field("host_seconds", run.host_seconds);
+      w.field("prep_seconds", run.prep_seconds);
+      w.field("prep_ns_per_nnz", run.prep_ns_per_nnz);
+      w.field("footprint_bytes", static_cast<std::uint64_t>(run.footprint_bytes));
+      w.field("footprint_bytes_per_nnz", run.footprint_bytes_per_nnz);
+      w.field("verify_max_err", run.verify_max_err);
+      w.key("stats");
+      run.stats.to_json(w);
+      w.key("time");
+      run.time.to_json(w);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    w.begin_array();
+    for (const auto& [name, value] : metrics_) {
+      w.begin_object();
+      w.field("name", name);
+      w.field("value", value);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    const std::string out = path();
+    write_text_file(out, w.take());
+    std::fprintf(stderr, "[json] wrote %s (%zu runs, %zu metrics)\n", out.c_str(),
+                 runs_.size(), metrics_.size());
+  }
+
+ private:
+  std::string experiment_;
+  double scale_;
+  std::vector<analysis::MethodRun> runs_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void print_banner(const char* experiment, double scale) {
   std::printf("=== %s ===\n", experiment);

@@ -19,6 +19,7 @@ using namespace spaden;
 int main() {
   const double scale = mat::bench_scale();
   bench::print_banner("Figure 10: conversion time and memory costs", scale);
+  bench::BenchJson json("fig10", scale);
 
   const std::vector<kern::Method> methods = {
       kern::Method::CusparseCsr,
@@ -62,6 +63,10 @@ int main() {
       const double bpn = kernel->footprint().bytes_per_nnz(a.nnz());
       ns_per_nnz[m].push_back(npn);
       bytes_per_nnz[m].push_back(bpn);
+      const std::string tag =
+          std::string(kern::method_name(m)) + "@" + info.name();
+      json.add_metric("prep_ns_per_nnz@" + tag, npn);
+      json.add_metric("footprint_bytes_per_nnz@" + tag, bpn);
       trow.push_back(strfmt("%.2f ms", prep * 1e3));
       tnorm.push_back(fmt_double(npn, 2));
       mrow.push_back(fmt_bytes(static_cast<double>(kernel->footprint().total_bytes()), 1));
@@ -112,5 +117,12 @@ int main() {
   std::printf(
       "\n(*) the paper reports Spaden's preprocessing speedup vs CSR as 0.17x,\n"
       "i.e. CSR preprocessing is ~5.9x cheaper per nnz; 0.57 is derived.\n");
+  for (const kern::Method m : methods) {
+    json.add_metric("geomean_prep_ns_per_nnz@" + std::string(kern::method_name(m)),
+                    analysis::geomean(ns_per_nnz[m]));
+    json.add_metric("geomean_bytes_per_nnz@" + std::string(kern::method_name(m)),
+                    analysis::geomean(bytes_per_nnz[m]));
+  }
+  json.write();
   return 0;
 }

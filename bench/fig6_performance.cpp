@@ -12,6 +12,7 @@ using namespace spaden;
 int main() {
   const double scale = mat::bench_scale();
   bench::print_banner("Figure 6: SpMV performance (modeled GFLOPS)", scale);
+  bench::BenchJson json("fig6", scale);
 
   // Paper §5.2 geomean speedups of Spaden over each method, per device.
   const std::map<std::string, std::map<kern::Method, double>> paper_speedups = {
@@ -47,6 +48,7 @@ int main() {
         if (info.meets_criteria) {
           in_scope_gflops[m].push_back(run.gflops);
         }
+        json.add(run);
       }
       table.add_row(std::move(row));
     }
@@ -61,8 +63,12 @@ int main() {
       const double s = analysis::geomean_speedup(spaden, in_scope_gflops[m]);
       std::printf("  vs %-14s %s\n", std::string(kern::method_name(m)).c_str(),
                   bench::vs_paper(s, paper_speedups.at(spec.name).at(m)).c_str());
+      json.add_metric("geomean_speedup_vs_" + std::string(kern::method_name(m)) + "@" +
+                          spec.name,
+                      s);
     }
     std::printf("\n");
   }
+  json.write();
   return 0;
 }

@@ -10,6 +10,7 @@ using namespace spaden;
 int main() {
   const double scale = mat::bench_scale();
   bench::print_banner("Figure 7: speedup over cuSPARSE CSR", scale);
+  bench::BenchJson json("fig7", scale);
 
   for (const auto& spec : {sim::l40(), sim::v100()}) {
     std::printf("--- %s ---\n", spec.name.c_str());
@@ -24,6 +25,7 @@ int main() {
       const mat::Csr a = bench::load_with_progress(info, scale);
       const auto baseline =
           bench::run_with_progress(spec, kern::Method::CusparseCsr, a, info.name());
+      json.add(baseline);
       std::vector<std::string> row{info.name()};
       for (const kern::Method m : kern::figure6_methods()) {
         if (m == kern::Method::CusparseCsr) {
@@ -31,6 +33,7 @@ int main() {
         }
         const auto run = bench::run_with_progress(spec, m, a, info.name());
         row.push_back(strfmt("%.2fx", run.gflops / baseline.gflops));
+        json.add(run);
       }
       table.add_row(std::move(row));
     }
@@ -42,5 +45,6 @@ int main() {
       "below 1x on scircuit/webbase1M (\"41%% of the throughput of cuSPARSE\n"
       "CSR\" there); BSR > 1x only on raefsky3/TSOPF; DASP competitive on\n"
       "V100 but not on L40.\n");
+  json.write();
   return 0;
 }

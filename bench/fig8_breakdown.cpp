@@ -13,6 +13,7 @@ using namespace spaden;
 int main() {
   const double scale = mat::bench_scale();
   bench::print_banner("Figure 8: Spaden speedup breakdown (L40)", scale);
+  bench::BenchJson json("fig8", scale);
 
   const std::vector<kern::Method> methods = {
       kern::Method::Spaden,
@@ -36,6 +37,7 @@ int main() {
       const auto run = bench::run_with_progress(spec, m, a, info.name());
       row.push_back(fmt_double(run.gflops, 1));
       gflops[m].push_back(run.gflops);
+      json.add(run);
     }
     table.add_row(std::move(row));
   }
@@ -66,5 +68,12 @@ int main() {
       "the latency-hiding benefit of moving MAC work to the tensor-core pipe\n"
       "when neither pipe saturates, so Spaden vs Spaden w/o TC compresses\n"
       "toward 1x here.\n");
+  json.add_metric("geomean_spaden_vs_no_tc",
+                  analysis::geomean_speedup(spaden, gflops[kern::Method::SpadenNoTc]));
+  json.add_metric("geomean_spaden_vs_bsr",
+                  analysis::geomean_speedup(spaden, gflops[kern::Method::CusparseBsr]));
+  json.add_metric("geomean_spaden_vs_csr_warp16",
+                  analysis::geomean_speedup(spaden, gflops[kern::Method::CsrWarp16]));
+  json.write();
   return 0;
 }

@@ -11,11 +11,16 @@ using namespace spaden;
 int main() {
   const double scale = mat::bench_scale();
   bench::print_banner("Figure 9a: block category ratios", scale);
+  bench::BenchJson json("fig9a", scale);
 
   Table table({"Matrix", "sparse <=32", "medium 33-48", "dense >48", "avg nnz/block"});
   for (const auto& info : mat::datasets()) {
     const mat::Csr a = bench::load_with_progress(info, scale);
     const auto s = mat::compute_block_stats(mat::BitBsr::from_csr(a));
+    json.add_metric("sparse_ratio@" + info.name(), s.sparse_ratio());
+    json.add_metric("medium_ratio@" + info.name(), s.medium_ratio());
+    json.add_metric("dense_ratio@" + info.name(), s.dense_ratio());
+    json.add_metric("avg_block_nnz@" + info.name(), s.avg_block_nnz());
     table.add_row({info.name(), strfmt("%.1f%%", 100.0 * s.sparse_ratio()),
                    strfmt("%.1f%%", 100.0 * s.medium_ratio()),
                    strfmt("%.1f%%", 100.0 * s.dense_ratio()),
@@ -26,5 +31,6 @@ int main() {
       "\nExpected shape (paper §5.4): raefsky3 and TSOPF dominated by dense\n"
       "blocks, pwtk an even three-way split, the remaining matrices mainly\n"
       "sparse blocks.\n");
+  json.write();
   return 0;
 }

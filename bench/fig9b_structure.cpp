@@ -13,6 +13,7 @@ using namespace spaden;
 int main() {
   const double scale = mat::bench_scale();
   bench::print_banner("Figure 9b: sparse-block ratio vs Spaden/BSR speedup (L40)", scale);
+  bench::BenchJson json("fig9b", scale);
 
   struct Row {
     std::string name;
@@ -28,6 +29,9 @@ int main() {
     const auto bsr =
         bench::run_with_progress(spec, kern::Method::CusparseBsr, a, info.name());
     rows.push_back({info.name(), stats.sparse_ratio(), spaden.gflops / bsr.gflops});
+    json.add(spaden);
+    json.add(bsr);
+    json.add_metric("sparse_ratio@" + info.name(), stats.sparse_ratio());
   }
   std::sort(rows.begin(), rows.end(),
             [](const Row& a, const Row& b) { return a.sparse_ratio < b.sparse_ratio; });
@@ -53,5 +57,7 @@ int main() {
       "compared to cuSPARSE BSR\"), with BSR ahead only at the dense end\n"
       "(raefsky3 1.2x, TSOPF 1.5x in the paper).\n",
       inversions, rows.size() - 1);
+  json.add_metric("adjacent_inversions", static_cast<double>(inversions));
+  json.write();
   return 0;
 }

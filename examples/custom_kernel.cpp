@@ -22,8 +22,8 @@ using namespace spaden;
 sim::LaunchResult ell_spmv(sim::Device& device, const mat::Ell& a,
                            sim::DSpan<const float> x, sim::DSpan<float> y) {
   auto& mem = device.memory();
-  auto col_dev = mem.upload(a.col_idx);
-  auto val_dev = mem.upload(a.val);
+  auto col_dev = mem.upload(a.col_idx, "ell.col_idx");
+  auto val_dev = mem.upload(a.val, "ell.val");
   const auto cols = col_dev.cspan();
   const auto vals = val_dev.cspan();
   const mat::Index nrows = a.nrows;
@@ -95,8 +95,8 @@ int main() {
   for (mat::Index i = 0; i < csr.ncols; ++i) {
     x[i] = 0.3f - 0.002f * static_cast<float>(i % 300);
   }
-  auto x_dev = device.memory().upload(x);
-  auto y_dev = device.memory().alloc<float>(csr.nrows);
+  auto x_dev = device.memory().upload(x, "x");
+  auto y_dev = device.memory().alloc<float>(csr.nrows, "y");
 
   const sim::LaunchResult warm = ell_spmv(device, ell, x_dev.cspan(), y_dev.span());
   const sim::LaunchResult run = ell_spmv(device, ell, x_dev.cspan(), y_dev.span());

@@ -36,8 +36,8 @@ MethodRun run_method(const sim::DeviceSpec& spec, kern::Method method, const mat
   for (auto& v : x) {
     v = rng.next_float(-1.0f, 1.0f);
   }
-  auto x_buf = device.memory().upload(x);
-  auto y_buf = device.memory().alloc<float>(a.nrows);
+  auto x_buf = device.memory().upload(x, "x");
+  auto y_buf = device.memory().alloc<float>(a.nrows, "y");
   Timer host_timer;
   const sim::LaunchResult launch = kernel->run(device, x_buf.cspan(), y_buf.span());
   run.host_seconds = host_timer.seconds();

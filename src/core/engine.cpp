@@ -23,6 +23,7 @@ struct SpmvEngine::Impl {
       device.set_sim_threads(options.sim_threads);
     }
     device.set_sanitize(options.sanitize);
+    device.set_profile(options.profile);
     kernel->prepare(device, matrix);
     prep.seconds = kernel->prep_seconds();
     prep.ns_per_nnz = matrix.nnz() == 0
@@ -58,9 +59,10 @@ SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>&
   }
   auto x_buf = impl_->device.memory().upload(x, "x");
   auto y_buf = impl_->device.memory().alloc<float>(impl_->matrix.nrows, "y");
-  // The device log accumulates across launches; clearing here scopes the
-  // report to this multiply even for kernels that launch more than once.
+  // The device logs accumulate across launches; clearing here scopes the
+  // reports to this multiply even for kernels that launch more than once.
   impl_->device.clear_sanitizer_log();
+  impl_->device.clear_profile_log();
   const sim::LaunchResult launch =
       impl_->kernel->run(impl_->device, x_buf.cspan(), y_buf.span());
   y = y_buf.host();
@@ -71,6 +73,7 @@ SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>&
   result.stats = launch.stats;
   result.time = launch.time;
   result.sanitizer = impl_->device.sanitizer_log();
+  result.profiles = impl_->device.profile_log();
   return result;
 }
 

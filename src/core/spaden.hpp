@@ -39,6 +39,10 @@ struct EngineOptions {
   /// sync-lint). Defaults to the SPADEN_SANCHECK env var. Findings land in
   /// SpmvResult::sanitizer; modeled time is unaffected.
   bool sanitize = sim::default_sancheck();
+  /// Profile every launch with spaden-prof (ranges + timeline + per-SM).
+  /// Defaults to the SPADEN_PROFILE env var. Reports land in
+  /// SpmvResult::profiles; modeled time is unaffected.
+  bool profile = sim::default_profile();
 };
 
 /// Result of one multiply.
@@ -50,6 +54,9 @@ struct SpmvResult {
   /// spaden-sancheck findings across every launch this multiply issued
   /// (empty/enabled=false unless EngineOptions::sanitize is on).
   sim::SanitizerReport sanitizer;
+  /// spaden-prof report per launch this multiply issued, in launch order,
+  /// with timeline events (empty unless EngineOptions::profile is on).
+  std::vector<sim::ProfileReport> profiles;
 };
 
 /// Preprocessing record (paper Fig. 10).

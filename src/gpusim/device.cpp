@@ -24,7 +24,8 @@ void Device::set_sim_threads(int threads) {
                  threads);
   if (threads != threads_) {
     threads_ = threads;
-    sms_.clear();  // rebuilt lazily with the new L2 slice size
+    sms_.clear();   // rebuilt lazily with the new L2 slice size
+    pool_.reset();  // rebuilt lazily with the new worker count
   }
 }
 
@@ -35,6 +36,12 @@ bool default_sancheck() {
 
 void Device::report_findings(const SanitizerReport& report) {
   std::fputs(report.summary().c_str(), stderr);
+}
+
+void Device::ensure_pool() {
+  if (pool_ == nullptr || pool_->workers() != threads_) {
+    pool_ = std::make_unique<SimThreadPool>(threads_);
+  }
 }
 
 void Device::ensure_sms() {

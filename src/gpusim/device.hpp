@@ -42,8 +42,10 @@
 #include "gpusim/controller.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/profiler.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "gpusim/stats.hpp"
+#include "gpusim/thread_pool.hpp"
 #include "gpusim/warp.hpp"
 
 namespace spaden::sim {
@@ -63,6 +65,9 @@ struct LaunchResult {
   TimeBreakdown time;
   /// spaden-sancheck findings for this launch (enabled=false when off).
   SanitizerReport sanitizer;
+  /// spaden-prof report for this launch (enabled=false when off). Timeline
+  /// events are kept in Device::profile_log() only, not in this copy.
+  ProfileReport profile;
 
   [[nodiscard]] double seconds() const { return time.total; }
   /// SpMV throughput metric used throughout the paper's figures.
@@ -98,6 +103,16 @@ class Device {
   [[nodiscard]] const SanitizerReport& sanitizer_log() const { return san_log_; }
   void clear_sanitizer_log() { san_log_ = SanitizerReport{}; }
 
+  /// spaden-prof (ranges + timeline + per-SM imbalance). Off the timing
+  /// path: counters and modeled time are identical with it on or off.
+  [[nodiscard]] bool profile() const { return profile_; }
+  void set_profile(bool enabled) { profile_ = enabled; }
+
+  /// One report per profiled launch since the last clear, in launch order,
+  /// with timeline events (feed to chrome_trace_json for a timeline file).
+  [[nodiscard]] const std::vector<ProfileReport>& profile_log() const { return prof_log_; }
+  void clear_profile_log() { prof_log_.clear(); }
+
   /// Drop cache contents (cold-cache experiments).
   void flush_caches() {
     l1_.flush();
@@ -114,18 +129,27 @@ class Device {
     LaunchResult result;
     result.kernel_name = std::string(name);
     result.stats.warps_launched = num_warps;
+    const std::size_t n = threads_ <= 1 ? 1 : static_cast<std::size_t>(threads_);
     std::vector<SanShard> shards;
     if (sanitize_) {
-      const std::size_t n = threads_ <= 1 ? 1 : static_cast<std::size_t>(threads_);
       shards.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
         shards.emplace_back(std::max<std::size_t>(kSanMaxEvents / n, 1024));
       }
     }
+    std::vector<ProfShard> pshards;
+    if (profile_) {
+      pshards.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        pshards.emplace_back(std::max<std::size_t>(kProfMaxEvents / n, 1024));
+      }
+    }
     if (threads_ <= 1) {
-      run_serial(num_warps, kernel, result.stats, sanitize_ ? &shards[0] : nullptr);
+      run_serial(num_warps, kernel, result.stats, sanitize_ ? &shards[0] : nullptr,
+                 profile_ ? &pshards[0] : nullptr);
     } else {
-      run_parallel(num_warps, kernel, result.stats, sanitize_ ? &shards : nullptr);
+      run_parallel(num_warps, kernel, result.stats, sanitize_ ? &shards : nullptr,
+                   profile_ ? &pshards : nullptr);
     }
     if (sanitize_) {
       result.sanitizer = sanitize_analyze(result.kernel_name, shards, memory_.registry());
@@ -135,6 +159,13 @@ class Device {
       }
     }
     result.time = estimate_time(spec_, result.stats);
+    if (profile_) {
+      ProfileReport report =
+          profile_analyze(result.kernel_name, spec_, result.stats, result.time, pshards);
+      result.profile = report;
+      result.profile.events.clear();  // full timeline lives in profile_log()
+      prof_log_.push_back(std::move(report));
+    }
     return result;
   }
 
@@ -153,60 +184,83 @@ class Device {
   };
 
   void ensure_sms();
+  void ensure_pool();
   /// Print a non-clean per-launch report to stderr (out-of-line: keeps
   /// iostream machinery out of the hot launch template).
   static void report_findings(const SanitizerReport& report);
 
   template <typename Kernel>
   void run_serial(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats,
-                  SanShard* shard) {
+                  SanShard* shard, ProfShard* pshard) {
     controller_.set_stats(&stats);
     WarpCtx ctx(&controller_, &stats);
     ctx.set_sanitizer(shard);
+    ctx.set_profiler(pshard);
+    if (pshard != nullptr) {
+      pshard->attach(&stats);
+    }
     for (std::uint64_t w = 0; w < num_warps; ++w) {
       if (shard != nullptr) {
         shard->begin_warp(w);
       }
+      if (pshard != nullptr) {
+        pshard->begin_warp(w);
+      }
       kernel(ctx, w);
+      if (pshard != nullptr) {
+        pshard->end_warp();
+      }
+    }
+    if (pshard != nullptr) {
+      pshard->finish();
     }
     controller_.set_stats(&scratch_stats_);
   }
 
   template <typename Kernel>
   void run_parallel(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats,
-                    std::vector<SanShard>* shards) {
+                    std::vector<SanShard>* shards, std::vector<ProfShard>* pshards) {
     ensure_sms();
+    ensure_pool();
     const auto t_count = static_cast<std::uint64_t>(threads_);
     const std::uint64_t chunk = (num_warps + t_count - 1) / t_count;
     std::vector<KernelStats> local_stats(t_count);
     std::vector<std::exception_ptr> errors(t_count);
-    std::vector<std::thread> workers;
-    workers.reserve(t_count);
-    for (std::uint64_t t = 0; t < t_count; ++t) {
-      workers.emplace_back([this, t, chunk, num_warps, &kernel, &local_stats, &errors,
-                            shards] {
-        try {
-          VirtualSm& sm = *sms_[t];
-          MemoryController mc(&sm.l1, &sm.l2, &local_stats[t]);
-          WarpCtx ctx(&mc, &local_stats[t]);
-          SanShard* shard = shards != nullptr ? &(*shards)[t] : nullptr;
-          ctx.set_sanitizer(shard);
-          const std::uint64_t lo = std::min(t * chunk, num_warps);
-          const std::uint64_t hi = std::min(lo + chunk, num_warps);
-          for (std::uint64_t w = lo; w < hi; ++w) {
-            if (shard != nullptr) {
-              shard->begin_warp(w);
-            }
-            kernel(ctx, w);
-          }
-        } catch (...) {
-          errors[t] = std::current_exception();
+    pool_->run([this, chunk, num_warps, &kernel, &local_stats, &errors, shards,
+                pshards](int worker) {
+      const auto t = static_cast<std::uint64_t>(worker);
+      try {
+        VirtualSm& sm = *sms_[t];
+        MemoryController mc(&sm.l1, &sm.l2, &local_stats[t]);
+        WarpCtx ctx(&mc, &local_stats[t]);
+        SanShard* shard = shards != nullptr ? &(*shards)[t] : nullptr;
+        ctx.set_sanitizer(shard);
+        ProfShard* pshard = pshards != nullptr ? &(*pshards)[t] : nullptr;
+        ctx.set_profiler(pshard);
+        if (pshard != nullptr) {
+          pshard->attach(&local_stats[t]);
         }
-      });
-    }
-    for (auto& worker : workers) {
-      worker.join();
-    }
+        const std::uint64_t lo = std::min(t * chunk, num_warps);
+        const std::uint64_t hi = std::min(lo + chunk, num_warps);
+        for (std::uint64_t w = lo; w < hi; ++w) {
+          if (shard != nullptr) {
+            shard->begin_warp(w);
+          }
+          if (pshard != nullptr) {
+            pshard->begin_warp(w);
+          }
+          kernel(ctx, w);
+          if (pshard != nullptr) {
+            pshard->end_warp();
+          }
+        }
+        if (pshard != nullptr) {
+          pshard->finish();
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
     for (const auto& error : errors) {
       if (error) {
         std::rethrow_exception(error);
@@ -229,7 +283,10 @@ class Device {
   int threads_ = 1;
   bool sanitize_ = default_sancheck();
   SanitizerReport san_log_;
-  std::vector<std::unique_ptr<VirtualSm>> sms_;  // lazily sized to threads_
+  bool profile_ = default_profile();
+  std::vector<ProfileReport> prof_log_;
+  std::vector<std::unique_ptr<VirtualSm>> sms_;    // lazily sized to threads_
+  std::unique_ptr<SimThreadPool> pool_;            // lazily sized to threads_
 };
 
 }  // namespace spaden::sim

@@ -62,16 +62,20 @@ DeviceSpec device_by_name(const std::string& name) {
   throw Error(strfmt("unknown device preset '%s' (expected 'l40' or 'v100')", name.c_str()));
 }
 
-TimeBreakdown estimate_time(const DeviceSpec& spec, const KernelStats& stats) {
-  SPADEN_REQUIRE(spec.sm_count > 0 && spec.clock_ghz > 0, "device spec '%s' not initialized",
-                 spec.name.c_str());
-  TimeBreakdown t;
-  t.t_launch = spec.kernel_launch_us * 1e-6;
-
+double launch_occupancy(const DeviceSpec& spec, std::uint64_t warps) {
   // A launch too small to fill the device cannot use its full throughput.
   const double occupancy =
-      std::min(1.0, static_cast<double>(stats.warps_launched) / spec.saturation_warps());
-  const double occ = std::max(occupancy, 1.0 / spec.saturation_warps());
+      std::min(1.0, static_cast<double>(warps) / spec.saturation_warps());
+  return std::max(occupancy, 1.0 / spec.saturation_warps());
+}
+
+TimeBreakdown estimate_component_time(const DeviceSpec& spec, const KernelStats& stats,
+                                      double occupancy) {
+  SPADEN_REQUIRE(spec.sm_count > 0 && spec.clock_ghz > 0, "device spec '%s' not initialized",
+                 spec.name.c_str());
+  SPADEN_REQUIRE(occupancy > 0 && occupancy <= 1.0, "occupancy %g out of (0, 1]", occupancy);
+  TimeBreakdown t;
+  const double occ = occupancy;
 
   t.t_dram = static_cast<double>(stats.dram_bytes) / (spec.dram_bandwidth_gbps * 1e9) / occ;
   t.t_l2 = static_cast<double>(stats.sectors) * spec.sector_bytes /
@@ -92,7 +96,15 @@ TimeBreakdown estimate_time(const DeviceSpec& spec, const KernelStats& stats) {
             flops884 / (spec.tc_half_tflops * 1e12 * spec.mma_m8n8k4_efficiency)) /
            occ;
 
-  t.total = t.t_launch + std::max({t.t_dram, t.t_l2, t.t_lsu, t.t_cuda, t.t_tc});
+  t.total = std::max({t.t_dram, t.t_l2, t.t_lsu, t.t_cuda, t.t_tc});
+  return t;
+}
+
+TimeBreakdown estimate_time(const DeviceSpec& spec, const KernelStats& stats) {
+  TimeBreakdown t =
+      estimate_component_time(spec, stats, launch_occupancy(spec, stats.warps_launched));
+  t.t_launch = spec.kernel_launch_us * 1e-6;
+  t.total += t.t_launch;
   return t;
 }
 

@@ -97,4 +97,16 @@ DeviceSpec device_by_name(const std::string& name);
 /// Convert measured counters into a modeled execution time.
 TimeBreakdown estimate_time(const DeviceSpec& spec, const KernelStats& stats);
 
+/// Occupancy factor estimate_time applies to a launch of `warps` warps
+/// (clamped to [1/saturation_warps, 1]).
+[[nodiscard]] double launch_occupancy(const DeviceSpec& spec, std::uint64_t warps);
+
+/// Time attribution for a *subset* of a launch's counters — a spaden-prof
+/// range or one virtual SM's share. Same rooflines as estimate_time but at
+/// the parent launch's occupancy and without the fixed launch overhead, so
+/// each per-resource term is additive across disjoint subsets and `total`
+/// (the max term) is comparable with the launch's total - t_launch.
+TimeBreakdown estimate_component_time(const DeviceSpec& spec, const KernelStats& stats,
+                                      double occupancy);
+
 }  // namespace spaden::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace spaden::sim {
 
@@ -22,6 +23,61 @@ KernelStats& KernelStats::operator+=(const KernelStats& o) {
   shuffle_lane_ops += o.shuffle_lane_ops;
   warps_launched += o.warps_launched;
   return *this;
+}
+
+KernelStats& KernelStats::operator-=(const KernelStats& o) {
+  const auto sub = [](std::uint64_t& a, std::uint64_t b) {
+    SPADEN_ASSERT(a >= b, "counter delta underflow: %llu - %llu",
+                  static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
+    a -= b;
+  };
+  sub(wavefronts, o.wavefronts);
+  sub(l1_hit_bytes, o.l1_hit_bytes);
+  sub(sectors, o.sectors);
+  sub(dram_bytes, o.dram_bytes);
+  sub(l2_hit_bytes, o.l2_hit_bytes);
+  sub(mem_instructions, o.mem_instructions);
+  sub(lane_loads, o.lane_loads);
+  sub(lane_stores, o.lane_stores);
+  sub(cuda_ops, o.cuda_ops);
+  sub(tc_mma_m16n16k16, o.tc_mma_m16n16k16);
+  sub(tc_mma_m8n8k4, o.tc_mma_m8n8k4);
+  sub(atomic_lane_ops, o.atomic_lane_ops);
+  sub(shuffle_lane_ops, o.shuffle_lane_ops);
+  sub(warps_launched, o.warps_launched);
+  return *this;
+}
+
+void KernelStats::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("wavefronts", wavefronts);
+  w.field("l1_hit_bytes", l1_hit_bytes);
+  w.field("sectors", sectors);
+  w.field("dram_bytes", dram_bytes);
+  w.field("l2_hit_bytes", l2_hit_bytes);
+  w.field("mem_instructions", mem_instructions);
+  w.field("lane_loads", lane_loads);
+  w.field("lane_stores", lane_stores);
+  w.field("cuda_ops", cuda_ops);
+  w.field("tc_mma_m16n16k16", tc_mma_m16n16k16);
+  w.field("tc_mma_m8n8k4", tc_mma_m8n8k4);
+  w.field("atomic_lane_ops", atomic_lane_ops);
+  w.field("shuffle_lane_ops", shuffle_lane_ops);
+  w.field("warps_launched", warps_launched);
+  w.end_object();
+}
+
+void TimeBreakdown::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("t_dram", t_dram);
+  w.field("t_l2", t_l2);
+  w.field("t_lsu", t_lsu);
+  w.field("t_cuda", t_cuda);
+  w.field("t_tc", t_tc);
+  w.field("t_launch", t_launch);
+  w.field("total", total);
+  w.field("bound_by", bound_by());
+  w.end_object();
 }
 
 std::string KernelStats::summary() const {

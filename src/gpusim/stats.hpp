@@ -10,6 +10,10 @@
 #include <cstdint>
 #include <string>
 
+namespace spaden {
+class JsonWriter;
+}
+
 namespace spaden::sim {
 
 /// Instruction classes with relative CUDA-core costs (in lane-op units; one
@@ -70,6 +74,15 @@ struct KernelStats {
   std::uint64_t warps_launched = 0;
 
   KernelStats& operator+=(const KernelStats& o);
+  /// Counter-wise difference (spaden-prof range attribution: counters at
+  /// range exit minus counters at range entry). Requires o <= *this
+  /// counter-wise; asserts underflow in debug builds.
+  KernelStats& operator-=(const KernelStats& o);
+  [[nodiscard]] friend KernelStats operator-(KernelStats a, const KernelStats& b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] bool operator==(const KernelStats& o) const = default;
 
   /// Total bytes that crossed the L2 interface (hits + misses).
   [[nodiscard]] std::uint64_t l2_bytes() const { return dram_bytes + l2_hit_bytes; }
@@ -81,6 +94,10 @@ struct KernelStats {
   }
 
   [[nodiscard]] std::string summary() const;
+
+  /// Emit every counter as one JSON object (stable key order — the bench
+  /// and profiler schemas depend on it).
+  void to_json(JsonWriter& w) const;
 };
 
 /// Per-component modeled times for one kernel launch (seconds).
@@ -97,6 +114,9 @@ struct TimeBreakdown {
   /// "launch").
   [[nodiscard]] const char* bound_by() const;
   [[nodiscard]] std::string summary() const;
+
+  /// Emit every term (seconds) plus bound_by as one JSON object.
+  void to_json(JsonWriter& w) const;
 };
 
 }  // namespace spaden::sim

@@ -1,0 +1,59 @@
+#include "gpusim/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace spaden::sim {
+
+SimThreadPool::SimThreadPool(int workers) {
+  SPADEN_REQUIRE(workers >= 1, "thread pool needs >= 1 worker, got %d", workers);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+SimThreadPool::~SimThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void SimThreadPool::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void SimThreadPool::run(const std::function<void(int)>& task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &task;
+  remaining_ = workers();
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+}  // namespace spaden::sim

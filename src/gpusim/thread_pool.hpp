@@ -1,0 +1,50 @@
+// Persistent worker pool for the parallel launcher.
+//
+// Device::launch used to spawn fresh std::threads per launch (~10 us each);
+// iterative solvers issue thousands of launches, so the spawn cost was
+// measurable host time. The pool keeps one worker per virtual SM alive
+// across launches: run(task) wakes every worker, worker i executes task(i)
+// exactly once, and run returns when all have finished. Worker i always
+// executes index i, so the mapping from virtual-SM state to executing
+// thread is stable — though determinism never depended on it (all per-SM
+// state is indexed by i, not by thread identity).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spaden::sim {
+
+class SimThreadPool {
+ public:
+  /// Spawns `workers` threads (>= 1), parked until run().
+  explicit SimThreadPool(int workers);
+  SimThreadPool(const SimThreadPool&) = delete;
+  SimThreadPool& operator=(const SimThreadPool&) = delete;
+  ~SimThreadPool();
+
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Execute task(i) on worker i for every i in [0, workers()); blocks until
+  /// all invocations return. The task must not throw (the launcher wraps its
+  /// body in a try/catch and carries exceptions out by hand).
+  void run(const std::function<void(int)>& task);
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace spaden::sim

@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "gpusim/controller.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/profiler.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "gpusim/stats.hpp"
 
@@ -54,6 +55,28 @@ class WarpCtx {
   /// instruction and modeled time is unaffected either way.
   void set_sanitizer(SanShard* shard) { san_ = shard; }
   [[nodiscard]] SanShard* sanitizer() const { return san_; }
+
+  /// Attach a profiler recorder (spaden-prof). Null (the default) disables
+  /// range recording at the cost of one pointer test per push/pop; the
+  /// profiler never charges counters, so modeled time is unaffected.
+  void set_profiler(ProfShard* shard) { prof_ = shard; }
+  [[nodiscard]] ProfShard* profiler() const { return prof_; }
+
+  /// NVTX-style named phase markers: counters accumulated between push and
+  /// the matching pop are attributed to `name` in the launch's profile.
+  /// `name` must outlive the launch (string literals in practice). Nesting
+  /// is allowed; a warp's ranges must all pop before the kernel returns —
+  /// prefer the ProfRange RAII guard in kernels with early returns.
+  void range_push(const char* name) {
+    if (prof_ != nullptr) {
+      prof_->range_push(name);
+    }
+  }
+  void range_pop() {
+    if (prof_ != nullptr) {
+      prof_->range_pop();
+    }
+  }
 
   // ----- compute charging -------------------------------------------------
 
@@ -273,6 +296,20 @@ class WarpCtx {
   MemoryController* mc_;
   KernelStats* stats_;
   SanShard* san_ = nullptr;
+  ProfShard* prof_ = nullptr;
+};
+
+/// RAII range marker: pops on scope exit, so kernels with early returns
+/// cannot leak a pushed range.
+class ProfRange {
+ public:
+  ProfRange(WarpCtx& ctx, const char* name) : ctx_(ctx) { ctx_.range_push(name); }
+  ProfRange(const ProfRange&) = delete;
+  ProfRange& operator=(const ProfRange&) = delete;
+  ~ProfRange() { ctx_.range_pop(); }
+
+ private:
+  WarpCtx& ctx_;
 };
 
 }  // namespace spaden::sim

@@ -13,13 +13,13 @@ BitCooSpmvResult spmv_bitcoo(sim::Device& device, const mat::BitCoo& a,
   a.validate();
 
   auto& mem = device.memory();
-  auto block_row_dev = mem.upload(a.block_row);
-  auto block_col_dev = mem.upload(a.block_col);
-  auto bitmap_dev = mem.upload(a.bitmap);
-  auto val_offset_dev = mem.upload(a.val_offset);
-  auto values_dev = mem.upload(a.values);
-  auto x_dev = mem.upload(x);
-  auto y_dev = mem.alloc<float>(a.nrows);
+  auto block_row_dev = mem.upload(a.block_row, "bitcoo.block_row");
+  auto block_col_dev = mem.upload(a.block_col, "bitcoo.block_col");
+  auto bitmap_dev = mem.upload(a.bitmap, "bitcoo.bitmap");
+  auto val_offset_dev = mem.upload(a.val_offset, "bitcoo.val_offset");
+  auto values_dev = mem.upload(a.values, "bitcoo.values");
+  auto x_dev = mem.upload(x, "x");
+  auto y_dev = mem.alloc<float>(a.nrows, "y");
 
   const auto block_row = block_row_dev.cspan();
   const auto block_col = block_col_dev.cspan();

@@ -54,8 +54,8 @@ class CsrAdaptiveKernel final : public SpmvKernel {
     block_row.push_back(a.nrows);
     block_nnz_begin.push_back(a.row_ptr[a.nrows]);
     num_blocks_ = block_row.size() - 1;
-    block_row_ = device.memory().upload(std::move(block_row));
-    block_nnz_begin_ = device.memory().upload(std::move(block_nnz_begin));
+    block_row_ = device.memory().upload(std::move(block_row), "adaptive.block_row");
+    block_nnz_begin_ = device.memory().upload(std::move(block_nnz_begin), "adaptive.block_nnz_begin");
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,

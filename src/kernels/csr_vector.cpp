@@ -38,7 +38,7 @@ class CsrVectorKernel final : public SpmvKernel {
     csr_ = DeviceCsr::upload(device.memory(), a);
     // Partition workspace: one descriptor per 256-row slice (merge-path
     // style load balancing state).
-    workspace_ = device.memory().alloc<std::uint32_t>(a.nrows / 256 + 64);
+    workspace_ = device.memory().alloc<std::uint32_t>(a.nrows / 256 + 64, "csr.workspace");
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
@@ -66,13 +66,16 @@ class CsrVectorKernel final : public SpmvKernel {
       if (row_mask == 0) {
         return;
       }
+      ctx.range_push("row_ptr");
       const auto begin = ctx.gather(row_ptr, rows, row_mask);
       sim::Lanes<std::uint32_t> rows1 = rows;
       for (auto& r : rows1) {
         ++r;
       }
       const auto end = ctx.gather(row_ptr, rows1, row_mask);
+      ctx.range_pop();
 
+      ctx.range_push("accumulate");
       sim::Lanes<float> acc{};
       std::uint32_t k = 0;
       while (true) {
@@ -102,8 +105,10 @@ class CsrVectorKernel final : public SpmvKernel {
         ctx.charge(sim::OpClass::Fma, sim::active_lanes(mask));
         ++k;
       }
+      ctx.range_pop();
 
       // Butterfly reduction within each sub-warp of v lanes.
+      ctx.range_push("reduce_store");
       for (unsigned delta = v / 2; delta > 0; delta /= 2) {
         sim::Lanes<std::uint32_t> src{};
         for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
@@ -126,6 +131,7 @@ class CsrVectorKernel final : public SpmvKernel {
         }
       }
       ctx.scatter(y, rows, acc, store_mask);
+      ctx.range_pop();
     });
   }
 

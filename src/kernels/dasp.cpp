@@ -110,10 +110,10 @@ class DaspKernel final : public SpmvKernel {
 
     num_groups_ = groups;
     auto& mem = device.memory();
-    group_ptr_ = mem.upload(std::move(group_ptr));
-    group_rows_ = mem.upload(std::move(group_rows));
-    tile_val_ = mem.upload(std::move(tile_val));
-    tile_col_ = mem.upload(std::move(tile_col));
+    group_ptr_ = mem.upload(std::move(group_ptr), "dasp.group_ptr");
+    group_rows_ = mem.upload(std::move(group_rows), "dasp.group_rows");
+    tile_val_ = mem.upload(std::move(tile_val), "dasp.tile_val");
+    tile_col_ = mem.upload(std::move(tile_col), "dasp.tile_col");
     short_ = DeviceCoo::upload(mem, short_coo);
     // Rows not covered by any path (all rows are covered; short rows with 0
     // nnz still need y zeroed) — handled by the zero-fill pass in run().
@@ -155,6 +155,7 @@ class DaspKernel final : public SpmvKernel {
       for (mat::Index c = chunk_begin; c < chunk_end; ++c) {
         // Load one 8x4 half tile + its columns: fully coalesced (the tiles
         // were packed contiguously during preprocessing).
+        ctx.range_push("load_tile");
         sim::Lanes<std::uint32_t> idx{};
         for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
           idx[lane] = c * (kGroupRows * kTileK) + lane;
@@ -165,7 +166,9 @@ class DaspKernel final : public SpmvKernel {
         // instruction — worse sector locality than one-row-per-warp CSR.
         const auto xv = ctx.gather(x, cols);
         ctx.charge(sim::OpClass::Convert, sim::kWarpSize);  // f32 -> f16 for B
+        ctx.range_pop();
 
+        ctx.range_push("mma");
         half a_tile[kGroupRows * kTileK];
         half b_tile[kTileK * kGroupRows];
         for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
@@ -177,9 +180,11 @@ class DaspKernel final : public SpmvKernel {
         }
         ctx.charge(sim::OpClass::RegMove, 2 * sim::kWarpSize);
         tc::mma_m8n8k4(ctx, d, a_tile, b_tile);
+        ctx.range_pop();
       }
 
       // Only the diagonal of D is meaningful: d[i][i] = y[group row i].
+      const sim::ProfRange prof_extract(ctx, "extract");
       sim::Lanes<std::uint32_t> yidx{};
       sim::Lanes<float> yval{};
       std::uint32_t mask = 0;

@@ -103,8 +103,8 @@ VerifyResult verify_kernel(SpmvKernel& kernel, sim::Device& device, const mat::C
   }
   const std::vector<double> y_ref = spmv_reference(a, x);
 
-  auto x_buf = device.memory().upload(x);
-  auto y_buf = device.memory().alloc<float>(a.nrows);
+  auto x_buf = device.memory().upload(x, "verify.x");
+  auto y_buf = device.memory().alloc<float>(a.nrows, "verify.y");
   (void)kernel.run(device, x_buf.cspan(), y_buf.span());
 
   const bool half_values =

@@ -24,7 +24,7 @@ class LightSpmvKernel final : public SpmvKernel {
 
   void do_prepare(sim::Device& device, const mat::Csr& a) override {
     csr_ = DeviceCsr::upload(device.memory(), a);
-    row_counter_ = device.memory().alloc<std::uint32_t>(1);
+    row_counter_ = device.memory().alloc<std::uint32_t>(1, "lightspmv.row_counter");
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,

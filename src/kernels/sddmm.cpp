@@ -19,9 +19,9 @@ SddmmResult sddmm_csr(sim::Device& device, const mat::Csr& pattern, const mat::D
   SPADEN_REQUIRE(u.nrows == pattern.nrows && v.nrows == pattern.ncols && u.ncols == v.ncols,
                  "SDDMM shape mismatch");
   const DeviceCsr csr = DeviceCsr::upload(device.memory(), pattern);
-  auto u_dev = device.memory().upload(u.data);
-  auto v_dev = device.memory().upload(v.data);
-  auto out_dev = device.memory().alloc<float>(pattern.nnz());
+  auto u_dev = device.memory().upload(u.data, "sddmm.u");
+  auto v_dev = device.memory().upload(v.data, "sddmm.v");
+  auto out_dev = device.memory().alloc<float>(pattern.nnz(), "sddmm.out");
 
   const auto row_ptr = csr.row_ptr.cspan();
   const auto col_idx = csr.col_idx.cspan();
@@ -74,9 +74,9 @@ SddmmResult sddmm_spaden(sim::Device& device, const mat::Csr& pattern, const mat
                  "SDDMM shape mismatch");
   const mat::BitBsr bb_host = mat::BitBsr::from_csr(pattern);
   const DeviceBitBsr bb = DeviceBitBsr::upload(device.memory(), bb_host);
-  auto u_dev = device.memory().upload(u.data);
-  auto v_dev = device.memory().upload(v.data);
-  auto out_dev = device.memory().alloc<float>(pattern.nnz());
+  auto u_dev = device.memory().upload(u.data, "sddmm.u");
+  auto v_dev = device.memory().upload(v.data, "sddmm.v");
+  auto out_dev = device.memory().alloc<float>(pattern.nnz(), "sddmm.out");
 
   // Block-row ids per block (bitCOO-style view) so one warp can address any
   // block without walking block_row_ptr.
@@ -87,7 +87,7 @@ SddmmResult sddmm_spaden(sim::Device& device, const mat::Csr& pattern, const mat
       block_rows.push_back(br);
     }
   }
-  auto block_row_dev = device.memory().upload(std::move(block_rows));
+  auto block_row_dev = device.memory().upload(std::move(block_rows), "sddmm.block_rows");
 
   const auto block_row = block_row_dev.cspan();
   const auto block_col = bb.block_col.cspan();

@@ -99,6 +99,7 @@ class SpadenKernel final : public SpmvKernel {
           if (!valid) {
             // Fill the A portion with zeros (computed, not loaded — the
             // register-level control §4.3.3 credits for memory efficiency).
+            const sim::ProfRange prof(ctx, "mma");
             for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
               a_frag.x(lane, reg0) = half{};
               a_frag.x(lane, reg0 + 1) = half{};
@@ -107,7 +108,10 @@ class SpadenKernel final : public SpmvKernel {
             continue;
           }
           const mat::Index a_idx = (slot == 0 ? begin1 : begin2) + j;
+          ctx.range_push("decode");
           const DecodedSlot dec = decode(ctx, x, ncols, a_idx);
+          ctx.range_pop();
+          ctx.range_push("mma");
           if (use_tc_) {
             // Algorithm 3 lines 6-7: direct register writes.
             for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
@@ -128,8 +132,10 @@ class SpadenKernel final : public SpmvKernel {
             }
             ctx.charge(sim::OpClass::Fma, 2 * sim::kWarpSize);
           }
+          ctx.range_pop();
         }
         if (use_tc_) {
+          const sim::ProfRange prof(ctx, "mma");
           if (variant_ == SpadenVariant::Conventional) {
             // The documented path (paper §3): both fragments staged through
             // a 256-element shared-memory buffer and loaded with
@@ -150,6 +156,7 @@ class SpadenKernel final : public SpmvKernel {
       // Algorithm 4: extract the first column of both diagonal result
       // blocks (TC), or reduce the per-lane partials across the 4 lanes of
       // each block row (CUDA cores).
+      const sim::ProfRange prof_extract(ctx, "extract");
       sim::Lanes<float> out1{};
       sim::Lanes<float> out2{};
       if (use_tc_) {

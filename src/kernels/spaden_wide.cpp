@@ -36,16 +36,16 @@ class SpadenWideKernel final : public SpmvKernel {
     const mat::BitBsr16 bb = mat::BitBsr16::from_csr(a);
     auto& mem = device.memory();
     dev_.brows = bb.brows;
-    dev_.block_row_ptr = mem.upload(bb.block_row_ptr);
-    dev_.block_col = mem.upload(bb.block_col);
+    dev_.block_row_ptr = mem.upload(bb.block_row_ptr, "wide.block_row_ptr");
+    dev_.block_col = mem.upload(bb.block_col, "wide.block_col");
     std::vector<std::uint64_t> flat;
     flat.reserve(bb.num_blocks() * mat::BitBsr16::kWords);
     for (const auto& words : bb.bitmap) {
       flat.insert(flat.end(), words.begin(), words.end());
     }
-    dev_.bitmap = mem.upload(std::move(flat));
-    dev_.val_offset = mem.upload(bb.val_offset);
-    dev_.values = mem.upload(bb.values);
+    dev_.bitmap = mem.upload(std::move(flat), "wide.bitmap");
+    dev_.val_offset = mem.upload(bb.val_offset, "wide.val_offset");
+    dev_.values = mem.upload(bb.values, "wide.values");
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,

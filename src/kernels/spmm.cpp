@@ -17,8 +17,8 @@ double spmm_tolerance(const mat::Csr& a, bool half_precision_values) {
 SpmmResult spmm_csr(sim::Device& device, const mat::Csr& a, const mat::Dense& b) {
   SPADEN_REQUIRE(a.ncols == b.nrows, "SpMM shape mismatch");
   const DeviceCsr csr = DeviceCsr::upload(device.memory(), a);
-  auto b_dev = device.memory().upload(b.data);
-  auto c_dev = device.memory().alloc<float>(static_cast<std::size_t>(a.nrows) * b.ncols);
+  auto b_dev = device.memory().upload(b.data, "spmm.b");
+  auto c_dev = device.memory().alloc<float>(static_cast<std::size_t>(a.nrows) * b.ncols, "spmm.c");
 
   const auto row_ptr = csr.row_ptr.cspan();
   const auto col_idx = csr.col_idx.cspan();
@@ -77,8 +77,8 @@ SpmmResult spmm_spaden(sim::Device& device, const mat::Csr& a, const mat::Dense&
   SPADEN_REQUIRE(a.ncols == b.nrows, "SpMM shape mismatch");
   const mat::BitBsr bb_host = mat::BitBsr::from_csr(a);
   const DeviceBitBsr bb = DeviceBitBsr::upload(device.memory(), bb_host);
-  auto b_dev = device.memory().upload(b.data);
-  auto c_dev = device.memory().alloc<float>(static_cast<std::size_t>(a.nrows) * b.ncols);
+  auto b_dev = device.memory().upload(b.data, "spmm.b");
+  auto c_dev = device.memory().alloc<float>(static_cast<std::size_t>(a.nrows) * b.ncols, "spmm.c");
 
   const auto block_row_ptr = bb.block_row_ptr.cspan();
   const auto b_span = b_dev.cspan();

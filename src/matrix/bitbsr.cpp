@@ -2,11 +2,66 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+#include <exception>
+#include <thread>
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
 
 namespace spaden::mat {
+
+int default_convert_threads() {
+  if (const char* env = std::getenv("SPADEN_CONVERT_THREADS")) {
+    const int requested = std::atoi(env);
+    SPADEN_REQUIRE(requested >= 1 && requested <= 256,
+                   "SPADEN_CONVERT_THREADS=%s out of [1, 256]", env);
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+/// Run fn(br_lo, br_hi) over contiguous block-row chunks, one per thread.
+/// threads == 1 (or a grid too small to split) calls fn inline — the exact
+/// serial path. Chunks never overlap, so callers writing only their own
+/// block-rows' slices produce output independent of the thread count.
+template <typename Fn>
+void for_block_row_chunks(Index brows, int threads, const Fn& fn) {
+  const auto t_count =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(threads), brows);
+  if (t_count <= 1) {
+    fn(Index{0}, brows);
+    return;
+  }
+  const Index chunk = static_cast<Index>((brows + t_count - 1) / t_count);
+  std::vector<std::exception_ptr> errors(t_count);
+  std::vector<std::thread> workers;
+  workers.reserve(t_count);
+  for (std::uint64_t t = 0; t < t_count; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        const Index lo = std::min<Index>(static_cast<Index>(t) * chunk, brows);
+        const Index hi = std::min<Index>(lo + chunk, brows);
+        fn(lo, hi);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  for (const auto& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+}  // namespace
 
 void BitBsr::validate() const {
   SPADEN_REQUIRE(block_dim == 8, "bitBSR requires 8x8 blocks (64-bit bitmap), got %u",
@@ -39,7 +94,11 @@ void BitBsr::validate() const {
   }
 }
 
-BitBsr BitBsr::from_csr(const Csr& a) {
+BitBsr BitBsr::from_csr(const Csr& a) { return from_csr(a, default_convert_threads()); }
+
+BitBsr BitBsr::from_csr(const Csr& a, int threads) {
+  SPADEN_REQUIRE(threads >= 1 && threads <= 256, "convert thread count %d out of [1, 256]",
+                 threads);
   constexpr Index kDim = 8;
   BitBsr out;
   out.nrows = a.nrows;
@@ -50,21 +109,28 @@ BitBsr BitBsr::from_csr(const Csr& a) {
   out.block_row_ptr.assign(static_cast<std::size_t>(out.brows) + 1, 0);
 
   // Pass 1 (Figure 4, step 1): count distinct non-empty blocks per
-  // block-row using a stamp array.
-  std::vector<Index> stamp(out.bcols, ~Index{0});
-  for (Index br = 0; br < out.brows; ++br) {
-    Index count = 0;
-    const Index row_end = std::min<Index>((br + 1) * kDim, a.nrows);
-    for (Index r = br * kDim; r < row_end; ++r) {
-      for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
-        const Index bc = a.col_idx[i] / kDim;
-        if (stamp[bc] != br) {
-          stamp[bc] = br;
-          ++count;
+  // block-row using a stamp array (one per worker — block-rows are
+  // independent). Counts land in block_row_ptr[br + 1]; the exclusive scan
+  // below stays serial, so the offsets match the serial path exactly.
+  for_block_row_chunks(out.brows, threads, [&](Index br_lo, Index br_hi) {
+    std::vector<Index> stamp(out.bcols, ~Index{0});
+    for (Index br = br_lo; br < br_hi; ++br) {
+      Index count = 0;
+      const Index row_end = std::min<Index>((br + 1) * kDim, a.nrows);
+      for (Index r = br * kDim; r < row_end; ++r) {
+        for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const Index bc = a.col_idx[i] / kDim;
+          if (stamp[bc] != br) {
+            stamp[bc] = br;
+            ++count;
+          }
         }
       }
+      out.block_row_ptr[br + 1] = count;
     }
-    out.block_row_ptr[br + 1] = out.block_row_ptr[br] + count;
+  });
+  for (Index br = 0; br < out.brows; ++br) {
+    out.block_row_ptr[br + 1] += out.block_row_ptr[br];
   }
 
   const std::size_t nblocks = out.block_row_ptr.back();
@@ -73,37 +139,40 @@ BitBsr BitBsr::from_csr(const Csr& a) {
   out.val_offset.assign(nblocks + 1, 0);
 
   // Pass 2 (Figure 4, step 2): assign sorted block columns and build each
-  // block's bitmap.
-  std::fill(stamp.begin(), stamp.end(), ~Index{0});
-  std::vector<Index> slot_of(out.bcols, 0);
-  std::vector<Index> scratch_cols;
-  for (Index br = 0; br < out.brows; ++br) {
-    scratch_cols.clear();
-    const Index row_end = std::min<Index>((br + 1) * kDim, a.nrows);
-    for (Index r = br * kDim; r < row_end; ++r) {
-      for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
-        const Index bc = a.col_idx[i] / kDim;
-        if (stamp[bc] != br) {
-          stamp[bc] = br;
-          scratch_cols.push_back(bc);
+  // block's bitmap. Each block-row writes only its own
+  // block_col/bitmap slice [block_row_ptr[br], block_row_ptr[br + 1]).
+  for_block_row_chunks(out.brows, threads, [&](Index br_lo, Index br_hi) {
+    std::vector<Index> stamp(out.bcols, ~Index{0});
+    std::vector<Index> slot_of(out.bcols, 0);
+    std::vector<Index> scratch_cols;
+    for (Index br = br_lo; br < br_hi; ++br) {
+      scratch_cols.clear();
+      const Index row_end = std::min<Index>((br + 1) * kDim, a.nrows);
+      for (Index r = br * kDim; r < row_end; ++r) {
+        for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const Index bc = a.col_idx[i] / kDim;
+          if (stamp[bc] != br) {
+            stamp[bc] = br;
+            scratch_cols.push_back(bc);
+          }
+        }
+      }
+      std::sort(scratch_cols.begin(), scratch_cols.end());
+      const Index base = out.block_row_ptr[br];
+      for (std::size_t k = 0; k < scratch_cols.size(); ++k) {
+        out.block_col[base + k] = scratch_cols[k];
+        slot_of[scratch_cols[k]] = base + static_cast<Index>(k);
+      }
+      for (Index r = br * kDim; r < row_end; ++r) {
+        const Index local_r = r - br * kDim;
+        for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const Index bc = a.col_idx[i] / kDim;
+          const Index local_c = a.col_idx[i] - bc * kDim;
+          set_bit(out.bitmap[slot_of[bc]], block_bit_index(local_r, local_c, kDim));
         }
       }
     }
-    std::sort(scratch_cols.begin(), scratch_cols.end());
-    const Index base = out.block_row_ptr[br];
-    for (std::size_t k = 0; k < scratch_cols.size(); ++k) {
-      out.block_col[base + k] = scratch_cols[k];
-      slot_of[scratch_cols[k]] = base + static_cast<Index>(k);
-    }
-    for (Index r = br * kDim; r < row_end; ++r) {
-      const Index local_r = r - br * kDim;
-      for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
-        const Index bc = a.col_idx[i] / kDim;
-        const Index local_c = a.col_idx[i] - bc * kDim;
-        set_bit(out.bitmap[slot_of[bc]], block_bit_index(local_r, local_c, kDim));
-      }
-    }
-  }
+  });
 
   // Step 3: exclusive scan of per-block nonzero counts ("The count of
   // nonzero elements in each block is recorded and computed with exclusive
@@ -119,33 +188,36 @@ BitBsr BitBsr::from_csr(const Csr& a) {
   // rounded to binary16 for the tensor core. Columns ascend within a row,
   // so consecutive nonzeros usually stay in the same block: cache the last
   // lookup and only binary-search the block-row's column list on a block
-  // change.
+  // change. A block-row's values occupy the disjoint range
+  // [val_offset[block_row_ptr[br]], val_offset[block_row_ptr[br + 1]]).
   out.values.resize(a.nnz());
-  for (Index br = 0; br < out.brows; ++br) {
-    const Index row_end = std::min<Index>((br + 1) * kDim, a.nrows);
-    const Index* blocks_begin = out.block_col.data() + out.block_row_ptr[br];
-    const Index* blocks_end = out.block_col.data() + out.block_row_ptr[br + 1];
-    for (Index r = br * kDim; r < row_end; ++r) {
-      const Index local_r = r - br * kDim;
-      Index cached_bc = ~Index{0};
-      std::size_t cached_block = 0;
-      for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
-        const Index bc = a.col_idx[i] / kDim;
-        const Index local_c = a.col_idx[i] - bc * kDim;
-        if (bc != cached_bc) {
-          const Index* it = std::lower_bound(blocks_begin, blocks_end, bc);
-          SPADEN_ASSERT(it != blocks_end && *it == bc, "block lookup failed");
-          cached_bc = bc;
-          cached_block = static_cast<std::size_t>(
-              out.block_row_ptr[br] + static_cast<Index>(it - blocks_begin));
+  for_block_row_chunks(out.brows, threads, [&](Index br_lo, Index br_hi) {
+    for (Index br = br_lo; br < br_hi; ++br) {
+      const Index row_end = std::min<Index>((br + 1) * kDim, a.nrows);
+      const Index* blocks_begin = out.block_col.data() + out.block_row_ptr[br];
+      const Index* blocks_end = out.block_col.data() + out.block_row_ptr[br + 1];
+      for (Index r = br * kDim; r < row_end; ++r) {
+        const Index local_r = r - br * kDim;
+        Index cached_bc = ~Index{0};
+        std::size_t cached_block = 0;
+        for (Index i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+          const Index bc = a.col_idx[i] / kDim;
+          const Index local_c = a.col_idx[i] - bc * kDim;
+          if (bc != cached_bc) {
+            const Index* it = std::lower_bound(blocks_begin, blocks_end, bc);
+            SPADEN_ASSERT(it != blocks_end && *it == bc, "block lookup failed");
+            cached_bc = bc;
+            cached_block = static_cast<std::size_t>(
+                out.block_row_ptr[br] + static_cast<Index>(it - blocks_begin));
+          }
+          const unsigned pos = block_bit_index(local_r, local_c, kDim);
+          const int rank = prefix_popcount(out.bitmap[cached_block], pos);
+          out.values[out.val_offset[cached_block] + static_cast<Index>(rank)] =
+              half(a.val[i]);
         }
-        const unsigned pos = block_bit_index(local_r, local_c, kDim);
-        const int rank = prefix_popcount(out.bitmap[cached_block], pos);
-        out.values[out.val_offset[cached_block] + static_cast<Index>(rank)] =
-            half(a.val[i]);
       }
     }
-  }
+  });
   return out;
 }
 

@@ -49,7 +49,12 @@ struct BitBsr {
   void validate() const;
 
   /// The conversion pipeline of Figure 4. Values are rounded to binary16.
+  /// Runs with default_convert_threads() host threads; the output is
+  /// bit-identical for any thread count (every pass writes disjoint
+  /// per-block-row slices, and the offset scans stay serial).
   [[nodiscard]] static BitBsr from_csr(const Csr& a);
+  /// Same conversion with an explicit thread count; 1 is the serial path.
+  [[nodiscard]] static BitBsr from_csr(const Csr& a, int threads);
 
   /// Decompress (values widened back to fp32). Round-trips structure
   /// exactly; values round-trip up to binary16 rounding.
@@ -64,5 +69,9 @@ struct BitBsr {
 };
 
 std::vector<float> spmv_host(const BitBsr& a, const std::vector<float>& x);
+
+/// Conversion thread count from the environment: SPADEN_CONVERT_THREADS if
+/// set (clamped to [1, 256]), otherwise std::thread::hardware_concurrency().
+[[nodiscard]] int default_convert_threads();
 
 }  // namespace spaden::mat

@@ -199,5 +199,42 @@ TEST(BitBsr, DenseBlockMatrixHasFullBitmaps) {
   }
 }
 
+TEST(BitBsr, ParallelConversionMatchesSerialBitForBit) {
+  // The block-row-parallel converter must produce the exact arrays of the
+  // serial path for any worker count (workers own disjoint block-row
+  // slices; the scans stay serial).
+  for (const std::uint64_t seed : {3u, 17u}) {
+    const Csr a = Csr::from_coo(random_uniform(1000, 900, 30000, seed));
+    const BitBsr serial = BitBsr::from_csr(a, 1);
+    for (const int threads : {2, 3, 8, 64}) {
+      const BitBsr parallel = BitBsr::from_csr(a, threads);
+      EXPECT_EQ(serial.block_row_ptr, parallel.block_row_ptr) << threads;
+      EXPECT_EQ(serial.block_col, parallel.block_col) << threads;
+      EXPECT_EQ(serial.bitmap, parallel.bitmap) << threads;
+      EXPECT_EQ(serial.val_offset, parallel.val_offset) << threads;
+      EXPECT_EQ(serial.values, parallel.values) << threads;
+      parallel.validate();
+    }
+  }
+}
+
+TEST(BitBsr, ParallelConversionHandlesDegenerateShapes) {
+  // Fewer block rows than workers, and an empty matrix.
+  Coo tiny;
+  tiny.nrows = 4;
+  tiny.ncols = 4;
+  tiny.row = {1};
+  tiny.col = {2};
+  tiny.val = {3.0f};
+  const Csr a = Csr::from_coo(tiny);
+  EXPECT_EQ(BitBsr::from_csr(a, 16).values, BitBsr::from_csr(a, 1).values);
+
+  Coo empty;
+  empty.nrows = 8;
+  empty.ncols = 8;
+  const Csr e = Csr::from_coo(empty);
+  EXPECT_EQ(BitBsr::from_csr(e, 4).num_blocks(), 0u);
+}
+
 }  // namespace
 }  // namespace spaden::mat

@@ -2,6 +2,7 @@
 //
 //   spaden info <matrix>                 structure + format recommendation
 //   spaden spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]
+//               [--sancheck] [--profile out.json] [--trace out.json]
 //   spaden convert <in.mtx> <out.mtx> [--reorder rcm|degree]
 //   spaden datasets                      list the Table 1 registry
 //   spaden probe                         print the §3 reverse-engineering grids
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "analysis/recommend.hpp"
+#include "common/json.hpp"
 #include "core/spaden.hpp"
 #include "matrix/matrix.hpp"
 #include "tensorcore/probe.hpp"
@@ -31,6 +33,8 @@ struct Args {
   int iters = 1;
   int threads = 0;  // 0 = SPADEN_SIM_THREADS / hardware default
   bool sancheck = false;
+  std::string profile_out;  // --profile FILE: spaden-prof JSON report
+  std::string trace_out;    // --trace FILE: chrome://tracing timeline
 };
 
 Args parse(int argc, char** argv) {
@@ -55,6 +59,10 @@ Args parse(int argc, char** argv) {
       args.threads = std::atoi(next("--threads").c_str());
     } else if (a == "--sancheck") {
       args.sancheck = true;
+    } else if (a == "--profile") {
+      args.profile_out = next("--profile");
+    } else if (a == "--trace") {
+      args.trace_out = next("--trace");
     } else {
       args.positional.push_back(a);
     }
@@ -114,6 +122,7 @@ int cmd_spmv(const Args& args) {
   options.device = sim::device_by_name(args.device);
   options.sim_threads = args.threads;
   options.sanitize = options.sanitize || args.sancheck;
+  options.profile = options.profile || !args.profile_out.empty() || !args.trace_out.empty();
   if (!args.method.empty()) {
     options.method = method_by_name(args.method);
   }
@@ -125,14 +134,43 @@ int cmd_spmv(const Args& args) {
   std::vector<float> x(a.ncols, 1.0f);
   std::vector<float> y;
   std::uint64_t findings = 0;
+  std::vector<sim::ProfileReport> profiles;  // last iteration's launches
   for (int i = 0; i < std::max(args.iters, 1); ++i) {
-    const SpmvResult r = engine.multiply(x, y);
+    SpmvResult r = engine.multiply(x, y);
     std::printf("iter %d: %.2f us modeled, %.1f GFLOP/s (bound by %s)\n", i,
                 r.modeled_seconds * 1e6, r.gflops, r.time.bound_by());
     findings += r.sanitizer.total();
     if (options.sanitize && i == 0) {
       std::fputs(r.sanitizer.summary().c_str(), stdout);
     }
+    profiles = std::move(r.profiles);
+  }
+  if (options.profile) {
+    for (const auto& report : profiles) {
+      std::fputs(report.summary().c_str(), stdout);
+    }
+  }
+  if (!args.profile_out.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("schema", sim::kProfSchema);
+    w.field("matrix", args.positional[1]);
+    w.field("method", std::string(kern::method_name(engine.chosen_method())));
+    w.key("launches");
+    w.begin_array();
+    for (const auto& report : profiles) {
+      report.to_json(w);
+    }
+    w.end_array();
+    w.end_object();
+    write_text_file(args.profile_out, w.take());
+    std::printf("wrote profile report %s (%zu launches)\n", args.profile_out.c_str(),
+                profiles.size());
+  }
+  if (!args.trace_out.empty()) {
+    write_text_file(args.trace_out, sim::chrome_trace_json(profiles));
+    std::printf("wrote chrome trace %s (open via chrome://tracing)\n",
+                args.trace_out.c_str());
   }
   return findings == 0 ? 0 : 3;
 }
@@ -189,6 +227,8 @@ int main(int argc, char** argv) {
           "  info <matrix>                     structure + format recommendation\n"
           "  spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]\n"
           "                [--sancheck]      run under spaden-sancheck (exit 3 on findings)\n"
+          "                [--profile F.json] write the spaden-prof report (and print it)\n"
+          "                [--trace F.json]   write a chrome://tracing timeline\n"
           "  convert <in> <out.mtx> [--reorder rcm|degree]\n"
           "  datasets                          list the Table 1 registry\n"
           "  probe                             print the reverse-engineered layouts\n"
