@@ -24,6 +24,8 @@ struct SpmvEngine::Impl {
     }
     device.set_sanitize(options.sanitize);
     device.set_profile(options.profile);
+    device.set_sched(options.sched);
+    device.set_shared_l2(options.shared_l2);
     kernel->prepare(device, matrix);
     prep.seconds = kernel->prep_seconds();
     prep.ns_per_nnz = matrix.nnz() == 0

@@ -43,6 +43,14 @@ struct EngineOptions {
   /// Defaults to the SPADEN_PROFILE env var. Reports land in
   /// SpmvResult::profiles; modeled time is unaffected.
   bool profile = sim::default_profile();
+  /// Warp scheduling policy of the simulator (gpusim/sched): serial =
+  /// run-to-completion (bit-for-bit the classic launcher), rr / gto
+  /// interleave resident warps so the cache models see realistic access
+  /// streams. Defaults to the SPADEN_SIM_SCHED env var.
+  sim::SchedConfig sched = sim::default_sched();
+  /// Model the L2 as one shared set-sharded cache across virtual SMs
+  /// instead of per-SM capacity slices. Defaults to SPADEN_SIM_SHARED_L2.
+  bool shared_l2 = sim::default_shared_l2();
 };
 
 /// Result of one multiply.

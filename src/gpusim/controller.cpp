@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "gpusim/shared_l2.hpp"
 
 namespace spaden::sim {
 
@@ -43,7 +44,8 @@ void MemoryController::touch_sector(std::uint64_t sector_addr, bool is_store) {
     return;
   }
   ++stats_->sectors;
-  const bool hit = l2_->access(byte_addr);
+  const bool hit =
+      shared_l2_ != nullptr ? shared_l2_->access(byte_addr) : l2_->access(byte_addr);
   if (hit) {
     stats_->l2_hit_bytes += l2_->sector_bytes();
   } else {

@@ -16,6 +16,8 @@
 
 namespace spaden::sim {
 
+class SharedL2;
+
 class MemoryController {
  public:
   static constexpr int kWarpSize = 32;
@@ -24,6 +26,11 @@ class MemoryController {
       : l1_(l1), l2_(l2), stats_(stats) {}
 
   void set_stats(KernelStats* stats) { stats_ = stats; }
+
+  /// Route L2 probes to a shared set-sharded L2 instead of this
+  /// controller's private L2 (null = private; the private cache still
+  /// defines the sector geometry). Opt-in via Device::set_shared_l2.
+  void set_shared_l2(SharedL2* shared) { shared_l2_ = shared; }
 
   /// One warp-level memory instruction. `addrs[i]` / `sizes[i]` describe lane
   /// i's access; lanes with a clear bit in `mask` are inactive.
@@ -46,6 +53,7 @@ class MemoryController {
 
   SectorCache* l1_;
   SectorCache* l2_;
+  SharedL2* shared_l2_ = nullptr;
   KernelStats* stats_;
 };
 

@@ -34,6 +34,55 @@ bool default_sancheck() {
   return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
 }
 
+bool default_shared_l2() {
+  const char* env = std::getenv("SPADEN_SIM_SHARED_L2");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+SharedL2* Device::ensure_shared_l2() {
+  if (shared_l2_ == nullptr) {
+    shared_l2_ = std::make_unique<SharedL2>(spec_.l2_capacity_bytes, spec_.l2_ways,
+                                            spec_.sector_bytes);
+  }
+  return shared_l2_.get();
+}
+
+std::vector<std::uint64_t> Device::partition_bounds(std::uint64_t num_warps) const {
+  const auto t_count = static_cast<std::uint64_t>(threads_);
+  std::vector<std::uint64_t> bounds(t_count + 1, num_warps);
+  bounds[0] = 0;
+  std::uint64_t total_weight = 0;
+  if (partition_ == WarpPartition::NnzBalanced && warp_weights_.size() == num_warps) {
+    for (const std::uint64_t weight : warp_weights_) {
+      total_weight += weight;
+    }
+  }
+  if (total_weight == 0) {
+    // Contiguous equal-count chunks (also the fallback when no usable
+    // weights are set).
+    const std::uint64_t chunk = num_warps == 0 ? 0 : (num_warps + t_count - 1) / t_count;
+    for (std::uint64_t t = 1; t < t_count; ++t) {
+      bounds[t] = std::min(t * chunk, num_warps);
+    }
+    return bounds;
+  }
+  // Contiguous chunks cut where the weight prefix sum crosses each SM's
+  // equal share — ascending contiguous warp ranges, so the profiler's and
+  // sanitizer's in-order shard merge invariant is preserved.
+  std::uint64_t warp = 0;
+  std::uint64_t prefix = 0;
+  for (std::uint64_t t = 1; t < t_count; ++t) {
+    const auto target = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(total_weight) * t) / t_count);
+    while (warp < num_warps && prefix + warp_weights_[warp] / 2 < target) {
+      prefix += warp_weights_[warp];
+      ++warp;
+    }
+    bounds[t] = warp;
+  }
+  return bounds;
+}
+
 void Device::report_findings(const SanitizerReport& report) {
   std::fputs(report.summary().c_str(), stderr);
 }

@@ -17,15 +17,25 @@
 // pair in grid order, exactly the pre-parallel launcher.
 //
 // Fidelity notes (documented limitations, see docs/performance_model.md):
-//  * Warps run in grid order within a chunk rather than the hardware's
-//    interleaved schedule, which gives the cache models mildly optimistic
-//    temporal locality. This affects all methods equally.
+//  * By default warps run to completion in grid order within a chunk rather
+//    than the hardware's interleaved schedule, which gives the cache models
+//    mildly optimistic temporal locality. The warp scheduler
+//    (gpusim/sched, set_sched / SPADEN_SIM_SCHED / --sched) closes this:
+//    `rr` and `gto` interleave an occupancy-limited window of resident
+//    warps per virtual SM on stackful fibers, deterministic at a fixed
+//    thread count; `serial` (the default) is the classic launcher
+//    bit-for-bit.
 //  * With T>1 threads the L2 is modeled as T private capacity slices of
 //    size capacity/T rather than one shared array (the deterministic
 //    alternative to a shared locked cache, whose hit pattern would depend
 //    on thread interleaving). Counters are deterministic at a fixed T but
 //    drift slightly from the serial launcher's; threads=1 reproduces the
-//    serial counters exactly.
+//    serial counters exactly. The opt-in shared set-sharded L2
+//    (set_shared_l2 / SPADEN_SIM_SHARED_L2 / --shared-l2) instead models
+//    one L2 shared by every virtual SM behind striped locks: cross-SM
+//    reuse of x becomes visible to the model at the price of run-to-run
+//    counter wobble at T>1 (numerics stay exact; at T=1 it matches the
+//    monolithic cache bit-for-bit).
 #pragma once
 
 #include <algorithm>
@@ -35,6 +45,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -44,6 +55,9 @@
 #include "gpusim/memory.hpp"
 #include "gpusim/profiler.hpp"
 #include "gpusim/sanitizer.hpp"
+#include "gpusim/sched/policy.hpp"
+#include "gpusim/sched/scheduler.hpp"
+#include "gpusim/shared_l2.hpp"
 #include "gpusim/stats.hpp"
 #include "gpusim/thread_pool.hpp"
 #include "gpusim/warp.hpp"
@@ -57,6 +71,10 @@ namespace spaden::sim {
 /// Sanitizer default from the environment: SPADEN_SANCHECK set to anything
 /// but "" or "0" enables spaden-sancheck on new devices.
 [[nodiscard]] bool default_sancheck();
+
+/// Shared-L2 default from the environment: SPADEN_SIM_SHARED_L2 set to
+/// anything but "" or "0" enables the shared set-sharded L2 on new devices.
+[[nodiscard]] bool default_shared_l2();
 
 /// Result of one kernel launch: measured counters + modeled time.
 struct LaunchResult {
@@ -92,6 +110,33 @@ class Device {
   [[nodiscard]] int sim_threads() const { return threads_; }
   void set_sim_threads(int threads);
 
+  /// Warp scheduling (gpusim/sched): policy Serial runs warps to completion
+  /// in grid order (the classic launcher, bit-for-bit); RoundRobin and Gto
+  /// interleave an occupancy-limited window of resident warps per virtual
+  /// SM, giving the cache models realistic access streams. Deterministic at
+  /// a fixed sim_threads() with the default slice L2.
+  [[nodiscard]] const SchedConfig& sched() const { return sched_; }
+  void set_sched(const SchedConfig& cfg) { sched_ = cfg; }
+
+  /// Opt-in shared set-sharded L2: one L2 shared by all virtual SMs behind
+  /// striped locks, replacing the per-SM capacity slices. Models cross-SM
+  /// reuse of x faithfully; counters may wobble run-to-run at T>1 while
+  /// numerics stay exact (see docs/performance_model.md).
+  [[nodiscard]] bool shared_l2() const { return shared_l2_on_; }
+  void set_shared_l2(bool enabled) { shared_l2_on_ = enabled; }
+
+  /// How the parallel launcher splits the warp grid across virtual SMs.
+  /// NnzBalanced picks contiguous boundaries by warp-weight prefix sums
+  /// (weights from set_warp_weights); with no matching weights it falls
+  /// back to the contiguous equal-count split.
+  [[nodiscard]] WarpPartition partition() const { return partition_; }
+  void set_partition(WarpPartition partition) { partition_ = partition; }
+  /// Per-warp weights (e.g. nnz per warp) consumed by NnzBalanced. Used by
+  /// launches whose warp count equals weights.size(); ignored otherwise.
+  void set_warp_weights(std::vector<std::uint64_t> weights) {
+    warp_weights_ = std::move(weights);
+  }
+
   /// spaden-sancheck (memcheck + racecheck + sync-lint). Off the timing
   /// path: counters and modeled time are identical with it on or off.
   [[nodiscard]] bool sanitize() const { return sanitize_; }
@@ -121,6 +166,9 @@ class Device {
       sm->l1.flush();
       sm->l2.flush();
     }
+    if (shared_l2_ != nullptr) {
+      shared_l2_->flush();
+    }
   }
 
   /// Run `kernel(ctx, warp_id)` for warp_id in [0, num_warps).
@@ -144,12 +192,13 @@ class Device {
         pshards.emplace_back(std::max<std::size_t>(kProfMaxEvents / n, 1024));
       }
     }
+    SharedL2* shared = shared_l2_on_ ? ensure_shared_l2() : nullptr;
     if (threads_ <= 1) {
       run_serial(num_warps, kernel, result.stats, sanitize_ ? &shards[0] : nullptr,
-                 profile_ ? &pshards[0] : nullptr);
+                 profile_ ? &pshards[0] : nullptr, shared);
     } else {
       run_parallel(num_warps, kernel, result.stats, sanitize_ ? &shards : nullptr,
-                   profile_ ? &pshards : nullptr);
+                   profile_ ? &pshards : nullptr, shared);
     }
     if (sanitize_) {
       result.sanitizer = sanitize_analyze(result.kernel_name, shards, memory_.registry());
@@ -185,53 +234,86 @@ class Device {
 
   void ensure_sms();
   void ensure_pool();
+  /// Build (lazily) and return the shared L2 model.
+  SharedL2* ensure_shared_l2();
+  /// Per-SM warp-range boundaries (t_count + 1 entries) for the configured
+  /// partition: contiguous equal-count chunks, or contiguous chunks whose
+  /// boundaries equalize the per-warp weight prefix sums (NnzBalanced).
+  [[nodiscard]] std::vector<std::uint64_t> partition_bounds(std::uint64_t num_warps) const;
   /// Print a non-clean per-launch report to stderr (out-of-line: keeps
   /// iostream machinery out of the hot launch template).
   static void report_findings(const SanitizerReport& report);
 
+  /// Type-erased trampoline handed to the warp scheduler, so WarpScheduler
+  /// stays a non-template class compiled once.
+  template <typename Kernel>
+  static void invoke_kernel(void* kernel, WarpCtx& ctx, std::uint64_t warp) {
+    (*static_cast<Kernel*>(kernel))(ctx, warp);
+  }
+
+  /// Run warps [lo, hi) on `ctx`: the classic run-to-completion loop for
+  /// policy Serial, or the fiber scheduler for rr/gto.
+  template <typename Kernel>
+  void run_warps(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, std::uint64_t num_warps,
+                 Kernel& kernel, SanShard* shard, ProfShard* pshard) {
+    if (sched_.policy == SchedPolicy::Serial) {
+      for (std::uint64_t w = lo; w < hi; ++w) {
+        if (shard != nullptr) {
+          shard->begin_warp(w);
+        }
+        if (pshard != nullptr) {
+          pshard->begin_warp(w);
+        }
+        kernel(ctx, w);
+        if (pshard != nullptr) {
+          pshard->end_warp();
+        }
+      }
+    } else {
+      using K = std::remove_reference_t<Kernel>;
+      WarpScheduler sched(sched_.policy, resident_window(spec_, sched_, num_warps));
+      sched.run(ctx, lo, hi,
+                const_cast<void*>(static_cast<const void*>(std::addressof(kernel))),
+                &Device::invoke_kernel<K>);
+    }
+  }
+
   template <typename Kernel>
   void run_serial(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats,
-                  SanShard* shard, ProfShard* pshard) {
+                  SanShard* shard, ProfShard* pshard, SharedL2* shared) {
     controller_.set_stats(&stats);
+    controller_.set_shared_l2(shared);
     WarpCtx ctx(&controller_, &stats);
     ctx.set_sanitizer(shard);
     ctx.set_profiler(pshard);
     if (pshard != nullptr) {
       pshard->attach(&stats);
     }
-    for (std::uint64_t w = 0; w < num_warps; ++w) {
-      if (shard != nullptr) {
-        shard->begin_warp(w);
-      }
-      if (pshard != nullptr) {
-        pshard->begin_warp(w);
-      }
-      kernel(ctx, w);
-      if (pshard != nullptr) {
-        pshard->end_warp();
-      }
-    }
+    run_warps(ctx, 0, num_warps, num_warps, kernel, shard, pshard);
     if (pshard != nullptr) {
       pshard->finish();
     }
     controller_.set_stats(&scratch_stats_);
+    controller_.set_shared_l2(nullptr);
   }
 
   template <typename Kernel>
   void run_parallel(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats,
-                    std::vector<SanShard>* shards, std::vector<ProfShard>* pshards) {
+                    std::vector<SanShard>* shards, std::vector<ProfShard>* pshards,
+                    SharedL2* shared) {
     ensure_sms();
     ensure_pool();
     const auto t_count = static_cast<std::uint64_t>(threads_);
-    const std::uint64_t chunk = (num_warps + t_count - 1) / t_count;
+    const std::vector<std::uint64_t> bounds = partition_bounds(num_warps);
     std::vector<KernelStats> local_stats(t_count);
     std::vector<std::exception_ptr> errors(t_count);
-    pool_->run([this, chunk, num_warps, &kernel, &local_stats, &errors, shards,
-                pshards](int worker) {
+    pool_->run([this, &bounds, &kernel, &local_stats, &errors, shards, pshards,
+                shared](int worker) {
       const auto t = static_cast<std::uint64_t>(worker);
       try {
         VirtualSm& sm = *sms_[t];
         MemoryController mc(&sm.l1, &sm.l2, &local_stats[t]);
+        mc.set_shared_l2(shared);
         WarpCtx ctx(&mc, &local_stats[t]);
         SanShard* shard = shards != nullptr ? &(*shards)[t] : nullptr;
         ctx.set_sanitizer(shard);
@@ -240,20 +322,7 @@ class Device {
         if (pshard != nullptr) {
           pshard->attach(&local_stats[t]);
         }
-        const std::uint64_t lo = std::min(t * chunk, num_warps);
-        const std::uint64_t hi = std::min(lo + chunk, num_warps);
-        for (std::uint64_t w = lo; w < hi; ++w) {
-          if (shard != nullptr) {
-            shard->begin_warp(w);
-          }
-          if (pshard != nullptr) {
-            pshard->begin_warp(w);
-          }
-          kernel(ctx, w);
-          if (pshard != nullptr) {
-            pshard->end_warp();
-          }
-        }
+        run_warps(ctx, bounds[t], bounds[t + 1], bounds.back(), kernel, shard, pshard);
         if (pshard != nullptr) {
           pshard->finish();
         }
@@ -281,6 +350,11 @@ class Device {
   KernelStats scratch_stats_;  // sink when no launch is active
   MemoryController controller_;
   int threads_ = 1;
+  SchedConfig sched_ = default_sched();
+  bool shared_l2_on_ = default_shared_l2();
+  std::unique_ptr<SharedL2> shared_l2_;  // lazily built when enabled
+  WarpPartition partition_ = WarpPartition::Contiguous;
+  std::vector<std::uint64_t> warp_weights_;
   bool sanitize_ = default_sancheck();
   SanitizerReport san_log_;
   bool profile_ = default_profile();

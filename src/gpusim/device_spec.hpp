@@ -46,9 +46,11 @@ struct DeviceSpec {
   double fp32_tflops = 0;           ///< CUDA-core peak (FMA counted as 2 FLOPs)
   double tc_half_tflops = 0;        ///< tensor-core peak, fp16 in / fp32 acc
 
-  // Cache. The L1 capacity is a single-cache proxy for the per-SM L1s:
-  // warps execute sequentially in the simulator, so one SM-sized L1 sees
-  // approximately the locality each real L1 would.
+  // Cache. The L1 capacity is a single-cache proxy for the per-SM L1s: each
+  // virtual SM owns one SM-sized L1, and the warps it hosts — sequential
+  // under the serial scheduling policy, an interleaved resident window under
+  // rr/gto (gpusim/sched) — see approximately the locality each real L1
+  // would.
   std::uint64_t l1_capacity_bytes = 128 * 1024;
   int l1_ways = 8;
   std::uint64_t l2_capacity_bytes = 0;
@@ -73,11 +75,15 @@ struct DeviceSpec {
   }
 
   /// Warps needed in flight to consider the device fully occupied. SpMV
-  /// kernels have high memory-level parallelism per warp, so ~4 resident
-  /// warps per SM suffice to saturate the bandwidth-side rooflines; fewer
-  /// than that genuinely underutilizes the device (the mechanism that lets
-  /// plain BSR keep up with Spaden on the small dense-block matrices, where
-  /// Spaden's 16-rows-per-warp launch has the fewest warps in flight).
+  /// kernels have high memory-level parallelism per warp, so ~4 warps per
+  /// SM suffice to saturate the bandwidth-side rooflines; fewer than that
+  /// genuinely underutilizes the device (the mechanism that lets plain BSR
+  /// keep up with Spaden on the small dense-block matrices, where Spaden's
+  /// 16-rows-per-warp launch has the fewest warps in flight). Distinct from
+  /// `max_warps_per_sm`, the residency ceiling: the warp scheduler
+  /// (gpusim/sched) sizes its resident window as max_warps_per_sm scaled by
+  /// launch_occupancy, so a launch big enough to saturate the rooflines
+  /// also fills the scheduler's window.
   [[nodiscard]] double saturation_warps() const {
     return static_cast<double>(sm_count) * 4.0;
   }

@@ -33,6 +33,7 @@ void ProfShard::range_push(const char* name) {
   const std::uint16_t id = intern(name);
   stack_[depth_].name_id = id;
   stack_[depth_].snap = *stats_;
+  stack_[depth_].partial = KernelStats{};
   ++depth_;
   push_event(ProfEventKind::RangeBegin, id);
 }
@@ -43,9 +44,40 @@ void ProfShard::range_pop() {
   --depth_;
   const Frame& frame = stack_[depth_];
   RangeAccum& accum = ranges_[frame.name_id];
-  accum.stats += *stats_ - frame.snap;
+  KernelStats delta = *stats_ - frame.snap;
+  delta += frame.partial;  // residency intervals before the last suspension
+  accum.stats += delta;
   ++accum.invocations;
   push_event(ProfEventKind::RangeEnd, frame.name_id);
+}
+
+void ProfShard::suspend_warp(WarpState& out) {
+  out.warp = warp_;
+  out.depth = depth_;
+  // Close the open ranges innermost-first, then the warp slice itself, so
+  // the timeline replay sees properly nested begin/end pairs and renders
+  // each residency interval as its own slice.
+  for (int i = depth_ - 1; i >= 0; --i) {
+    push_event(ProfEventKind::RangeEnd, stack_[i].name_id);
+  }
+  push_event(ProfEventKind::WarpEnd, ProfEvent::kNoName);
+  for (int i = 0; i < depth_; ++i) {
+    Frame frame = stack_[i];
+    frame.partial += *stats_ - frame.snap;
+    out.frames[i] = frame;
+  }
+  depth_ = 0;
+}
+
+void ProfShard::resume_warp(const WarpState& in) {
+  warp_ = in.warp;
+  depth_ = in.depth;
+  push_event(ProfEventKind::WarpBegin, ProfEvent::kNoName);
+  for (int i = 0; i < depth_; ++i) {
+    stack_[i] = in.frames[i];
+    stack_[i].snap = *stats_;  // the new residency interval starts here
+    push_event(ProfEventKind::RangeBegin, stack_[i].name_id);
+  }
 }
 
 namespace {

@@ -91,6 +91,35 @@ class ProfShard {
   void range_push(const char* name);
   void range_pop();
 
+  static constexpr int kMaxDepth = 16;
+
+  /// One open range of the executing warp. `snap` is the counter snapshot
+  /// at the latest push *or resume*; `partial` accumulates the counter
+  /// delta of earlier residency intervals of a warp the fiber scheduler
+  /// suspended while this range was open (zero on the serial path, so pop
+  /// arithmetic is unchanged there).
+  struct Frame {
+    std::uint16_t name_id = 0;
+    KernelStats snap;
+    KernelStats partial;
+  };
+
+  /// Saved mid-kernel range state of one suspended warp. The scheduler owns
+  /// one per resident-warp slot; the counters other warps charge while this
+  /// warp is suspended never leak into its ranges.
+  struct WarpState {
+    std::uint64_t warp = 0;
+    int depth = 0;
+    Frame frames[kMaxDepth];
+  };
+
+  /// Fiber-scheduler hooks: close the executing warp's timeline slice (so
+  /// interleaving is visible in the chrome trace) and park its open-range
+  /// stack in `out`; reopen it later with fresh counter snapshots. Between
+  /// suspend and resume the shard may record any number of other warps.
+  void suspend_warp(WarpState& out);
+  void resume_warp(const WarpState& in);
+
   /// Called on the host after the worker loop: snapshot the shard's total
   /// counter delta (the per-SM view).
   void finish() { total_ = *stats_ - initial_; }
@@ -107,13 +136,6 @@ class ProfShard {
     KernelStats stats;
     std::uint64_t invocations = 0;
   };
-
-  struct Frame {
-    std::uint16_t name_id = 0;
-    KernelStats snap;
-  };
-
-  static constexpr int kMaxDepth = 16;
 
   std::uint16_t intern(const char* name);
   void push_event(ProfEventKind kind, std::uint16_t name_id) {

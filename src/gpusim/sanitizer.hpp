@@ -117,6 +117,22 @@ class SanShard {
   /// tracked so a following sync_warp can check arrival.
   void note_op_mask(std::uint32_t mask) { last_mask_ = mask; }
 
+  /// Per-warp recorder state the fiber scheduler (gpusim/sched) carries
+  /// across warp suspensions, so events stay attributed to the right warp
+  /// and sync-lint never compares masks across different warps. The
+  /// instruction sequence counter stays shard-global: warps never yield
+  /// mid-instruction, so each (warp, seq) event group remains contiguous —
+  /// the invariant the divergent-WAW grouping relies on.
+  struct WarpState {
+    std::uint64_t warp = 0;
+    std::uint32_t last_mask = 0xFFFF'FFFFu;
+  };
+  [[nodiscard]] WarpState save_warp() const { return WarpState{warp_, last_mask_}; }
+  void restore_warp(const WarpState& state) {
+    warp_ = state.warp;
+    last_mask_ = state.last_mask;
+  }
+
   void divergent_shuffle(std::uint32_t mask, int lane, std::uint32_t src_lane);
   void sync_warp(std::uint32_t mask);
 

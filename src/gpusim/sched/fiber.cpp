@@ -1,0 +1,55 @@
+#include "gpusim/sched/fiber.hpp"
+
+#include "common/error.hpp"
+
+namespace spaden::sim {
+
+namespace {
+/// Carries `this` into the makecontext trampoline (which portably takes no
+/// arguments): written immediately before the first swap into a fiber, read
+/// exactly once on the fiber's own stack. thread_local because each
+/// simulation thread schedules its own fibers.
+thread_local Fiber* t_starting_fiber = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes)
+    : stack_(new char[stack_bytes]), stack_bytes_(stack_bytes) {}
+
+void Fiber::trampoline() {
+  Fiber* self = t_starting_fiber;
+  self->entry_(self->arg_);
+  self->finished_ = true;
+  // Returning runs uc_link (= link_), i.e. resumes the pending resume().
+}
+
+void Fiber::start(Entry entry, void* arg) {
+  SPADEN_REQUIRE(finished_, "Fiber::start while a previous entry is still suspended");
+  entry_ = entry;
+  arg_ = arg;
+  const int rc = getcontext(&ctx_);
+  SPADEN_REQUIRE(rc == 0, "getcontext failed");
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes_;
+  ctx_.uc_link = &link_;
+  makecontext(&ctx_, &Fiber::trampoline, 0);
+  started_ = false;
+  finished_ = false;
+}
+
+bool Fiber::resume() {
+  SPADEN_REQUIRE(!finished_, "Fiber::resume on a finished fiber");
+  if (!started_) {
+    started_ = true;
+    t_starting_fiber = this;
+  }
+  const int rc = swapcontext(&link_, &ctx_);
+  SPADEN_REQUIRE(rc == 0, "swapcontext into fiber failed");
+  return !finished_;
+}
+
+void Fiber::yield() {
+  const int rc = swapcontext(&ctx_, &link_);
+  SPADEN_REQUIRE(rc == 0, "swapcontext out of fiber failed");
+}
+
+}  // namespace spaden::sim

@@ -1,0 +1,61 @@
+// Stackful fibers for the warp scheduler (src/gpusim/sched/).
+//
+// A Fiber is one suspendable execution context: the scheduler resumes it,
+// the fiber runs until it yields (or its entry returns), and control comes
+// back to the resume() caller. Built on ucontext — no external deps — with
+// one fixed heap stack per fiber, so a suspended warp's locals (fragments,
+// Lanes<T> registers, RAII range guards) survive across switches.
+//
+// Threading: a Fiber never migrates — it is created, resumed and finished
+// on one simulation thread (its virtual SM), which is also what keeps
+// glibc's ucontext TSan-visible (swapcontext is intercepted).
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <memory>
+
+namespace spaden::sim {
+
+/// Per-fiber stack size. Kernel frames hold at most a few fragments plus
+/// Lanes<T> locals (~KBs); 128 KiB leaves two orders of magnitude headroom
+/// (sanitizer instrumentation widens frames but stays well inside it).
+inline constexpr std::size_t kFiberStackBytes = 128 * 1024;
+
+class Fiber {
+ public:
+  using Entry = void (*)(void* arg);
+
+  explicit Fiber(std::size_t stack_bytes = kFiberStackBytes);
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Arm the fiber: the next resume() runs entry(arg) from the top of the
+  /// stack. May be called again once the previous entry has finished (the
+  /// scheduler reuses one fiber per resident-warp slot).
+  void start(Entry entry, void* arg);
+
+  /// Switch from the calling context into the fiber; returns when the fiber
+  /// yields or its entry returns. False once the entry has returned.
+  bool resume();
+
+  /// From inside the fiber: suspend back to the resume() caller.
+  void yield();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+
+ private:
+  static void trampoline();
+
+  ucontext_t ctx_{};   // the fiber's suspended state
+  ucontext_t link_{};  // the resume() caller's state
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
+  Entry entry_ = nullptr;
+  void* arg_ = nullptr;
+  bool started_ = false;
+  bool finished_ = true;
+};
+
+}  // namespace spaden::sim

@@ -1,0 +1,55 @@
+// Scheduling policy configuration for the warp scheduler (src/gpusim/sched/).
+//
+// `serial` is the classic launcher: every warp runs to completion in grid
+// order, bit-for-bit the pre-scheduler behaviour. `rr` and `gto` interleave
+// an occupancy-limited window of resident warps per virtual SM, which is
+// what the cache models need to see realistic (less optimistic) temporal
+// locality — see docs/performance_model.md for the measured drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/device_spec.hpp"
+
+namespace spaden::sim {
+
+/// Which resident warp advances at each yield point.
+enum class SchedPolicy : std::uint8_t {
+  Serial = 0,  ///< run-to-completion in grid order (the classic launcher)
+  RoundRobin,  ///< switch to the next resident warp at every memory op
+  Gto,         ///< greedy-then-oldest: run until an L2 miss, then the oldest
+};
+
+[[nodiscard]] const char* sched_policy_name(SchedPolicy p);
+/// Parse "serial" | "rr" | "gto"; throws on anything else.
+[[nodiscard]] SchedPolicy sched_policy_by_name(const std::string& name);
+
+struct SchedConfig {
+  SchedPolicy policy = SchedPolicy::Serial;
+  /// Resident warps per virtual SM. 0 = derive from the device spec:
+  /// max_warps_per_sm scaled by the launch's occupancy estimate.
+  int window = 0;
+  bool operator==(const SchedConfig&) const = default;
+};
+
+/// Environment default: SPADEN_SIM_SCHED = "serial" | "rr" | "gto", with an
+/// optional ":window" suffix (e.g. "rr:8") to pin the resident window.
+[[nodiscard]] SchedConfig default_sched();
+
+/// Occupancy-limited resident-warp window for one virtual SM: the device's
+/// maximum residency scaled by the launch's occupancy estimate, never below
+/// 1 and never above max_warps_per_sm. A cfg.window > 0 overrides the
+/// derivation (still clamped to the device maximum).
+[[nodiscard]] int resident_window(const DeviceSpec& spec, const SchedConfig& cfg,
+                                  std::uint64_t num_warps);
+
+/// How the parallel launcher splits the warp grid across virtual SMs. Both
+/// options produce contiguous ascending warp ranges (the invariant the
+/// profiler/sanitizer shard merge relies on).
+enum class WarpPartition : std::uint8_t {
+  Contiguous = 0,  ///< equal warp counts: ceil(n/T) warps per SM
+  NnzBalanced,     ///< equal per-warp weight (e.g. nnz) per SM
+};
+
+}  // namespace spaden::sim

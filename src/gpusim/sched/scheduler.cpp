@@ -1,0 +1,178 @@
+#include "gpusim/sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gpusim/warp.hpp"
+
+namespace spaden::sim {
+
+WarpScheduler::WarpScheduler(SchedPolicy policy, int window)
+    : policy_(policy), window_(window) {
+  SPADEN_REQUIRE(policy != SchedPolicy::Serial,
+                 "WarpScheduler requires an interleaving policy (rr|gto)");
+  SPADEN_REQUIRE(window >= 1, "resident window %d must be >= 1", window);
+}
+
+void WarpScheduler::fiber_entry(void* raw) {
+  Slot* slot = static_cast<Slot*>(raw);
+  WarpScheduler* sched = slot->owner;
+  try {
+    sched->body_(sched->kernel_, *sched->ctx_, slot->warp);
+  } catch (...) {
+    // Stash the first failure; the run loop stops scheduling and rethrows.
+    if (!sched->error_) {
+      sched->error_ = std::current_exception();
+    }
+  }
+}
+
+void WarpScheduler::arm(Slot& slot, std::uint64_t warp) {
+  slot.warp = warp;
+  slot.live = true;
+  slot.fresh = true;
+  slot.stalled = false;
+  slot.fiber.start(&WarpScheduler::fiber_entry, &slot);
+}
+
+std::size_t WarpScheduler::pick() {
+  const std::size_t n = slots_.size();
+  if (policy_ == SchedPolicy::RoundRobin) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = (rr_next_ + i) % n;
+      if (slots_[s]->live) {
+        rr_next_ = (s + 1) % n;
+        return s;
+      }
+    }
+  } else {
+    // Greedy-then-oldest: the oldest (smallest warp id) live warp that is
+    // not marked stalled; when every live warp is stalled, the modeled
+    // memory returns — clear the marks and take the oldest outright.
+    std::size_t best = n;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (slots_[s]->live && !slots_[s]->stalled &&
+          (best == n || slots_[s]->warp < slots_[best]->warp)) {
+        best = s;
+      }
+    }
+    if (best == n) {
+      for (std::size_t s = 0; s < n; ++s) {
+        if (slots_[s]->live) {
+          slots_[s]->stalled = false;
+          if (best == n || slots_[s]->warp < slots_[best]->warp) {
+            best = s;
+          }
+        }
+      }
+    }
+    if (best != n) {
+      return best;
+    }
+  }
+  SPADEN_ASSERT(false, "WarpScheduler::pick with no live warp");
+  return 0;
+}
+
+void WarpScheduler::yield_point() {
+  if (live_count_ <= 1) {
+    return;  // no other resident warp to switch to
+  }
+  Slot& slot = *slots_[current_];
+  if (policy_ == SchedPolicy::Gto) {
+    if (stats_->dram_bytes == dram_mark_) {
+      return;  // no L2 miss during this residency: stay greedy
+    }
+    slot.stalled = true;
+  }
+  slot.fiber.yield();
+}
+
+void WarpScheduler::run(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, void* kernel,
+                        KernelBody body) {
+  if (lo >= hi) {
+    return;
+  }
+  ctx_ = &ctx;
+  kernel_ = kernel;
+  body_ = body;
+  stats_ = &ctx.stats();
+  san_ = ctx.sanitizer();
+  prof_ = ctx.profiler();
+  hi_ = hi;
+  next_warp_ = lo;
+  const std::size_t window =
+      static_cast<std::size_t>(std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(window_), hi - lo));
+  if (slots_.size() != window) {
+    slots_.clear();
+    slots_.reserve(window);
+    for (std::size_t s = 0; s < window; ++s) {
+      slots_.push_back(std::make_unique<Slot>());
+      slots_.back()->owner = this;
+    }
+  }
+  for (auto& slot : slots_) {
+    arm(*slot, next_warp_++);
+  }
+  live_count_ = window;
+  rr_next_ = 0;
+  ctx.set_scheduler(this);
+  while (live_count_ > 0) {
+    const std::size_t s = pick();
+    Slot& slot = *slots_[s];
+    if (slot.fresh) {
+      if (san_ != nullptr) {
+        san_->begin_warp(slot.warp);
+      }
+      if (prof_ != nullptr) {
+        prof_->begin_warp(slot.warp);
+      }
+      slot.fresh = false;
+    } else {
+      if (san_ != nullptr) {
+        san_->restore_warp(slot.san_state);
+      }
+      if (prof_ != nullptr) {
+        prof_->resume_warp(slot.prof_state);
+      }
+    }
+    slot.stalled = false;
+    current_ = s;
+    dram_mark_ = stats_->dram_bytes;
+    const bool suspended = slot.fiber.resume();
+    if (suspended) {
+      if (san_ != nullptr) {
+        slot.san_state = san_->save_warp();
+      }
+      if (prof_ != nullptr) {
+        prof_->suspend_warp(slot.prof_state);
+      }
+    } else {
+      if (prof_ != nullptr) {
+        prof_->end_warp();
+      }
+      if (error_) {
+        break;  // abandon the remaining fibers, rethrow below
+      }
+      if (next_warp_ < hi_) {
+        arm(slot, next_warp_++);  // rotate the next warp into the slot
+      } else {
+        slot.live = false;
+        --live_count_;
+      }
+    }
+  }
+  ctx.set_scheduler(nullptr);
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    // Suspended fibers are dropped without unwinding their stacks; after a
+    // kernel error the launch's partial state is discarded anyway.
+    std::rethrow_exception(error);
+  }
+}
+
+void sched_yield_point(WarpScheduler& sched) { sched.yield_point(); }
+
+}  // namespace spaden::sim

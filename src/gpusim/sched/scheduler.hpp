@@ -1,0 +1,101 @@
+// WarpScheduler: interleaves an occupancy-limited window of resident warps
+// on one virtual SM (src/gpusim/sched/).
+//
+// The classic launchers run each warp to completion in grid order, which the
+// cache models register as optimistic temporal locality. Real SM schedulers
+// instead keep a window of resident warps and switch between them at memory
+// operations. This class reproduces that: each resident warp runs on a
+// stackful Fiber, every WarpCtx memory operation is a yield point, and the
+// policy (rr / gto) decides which resident warp advances next. When a warp
+// finishes, its slot is refilled with the next warp of the SM's range, like
+// a fresh thread block rotating in.
+//
+// Determinism: the schedule is a pure function of the policy and of the
+// counter stream the warps produce, so for a fixed SPADEN_SIM_THREADS (and
+// the default slice L2) counters, profiles and numerics are byte-identical
+// run-to-run. Under the shared L2 the gto stall signal depends on
+// cross-thread cache state, so the schedule — and with it the counters —
+// may wobble across runs while numerics stay exact (warps only communicate
+// through atomics; see docs/performance_model.md).
+//
+// Profiler/sanitizer composition: on every switch the scheduler parks the
+// outgoing warp's recorder state (open profiler ranges, sanitizer warp
+// attribution) and restores the incoming warp's, so ranges survive
+// suspension and event streams stay correctly attributed. Yield points sit
+// *after* an operation's charging and recording — a warp instruction is
+// atomic with respect to switches.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "gpusim/profiler.hpp"
+#include "gpusim/sanitizer.hpp"
+#include "gpusim/sched/fiber.hpp"
+#include "gpusim/sched/policy.hpp"
+#include "gpusim/stats.hpp"
+
+namespace spaden::sim {
+
+class WarpCtx;
+
+/// Type-erased kernel body: Device::launch's template callable behind a
+/// void*, so the scheduler stays out of the launch template.
+using KernelBody = void (*)(void* kernel, WarpCtx& ctx, std::uint64_t warp);
+
+class WarpScheduler {
+ public:
+  /// `window` is the resident-warp count per SM (see resident_window()).
+  WarpScheduler(SchedPolicy policy, int window);
+
+  /// Run warps [lo, hi) of `body` interleaved over the resident window.
+  /// Registers itself as ctx's yield sink for the duration of the call and
+  /// drives ctx's attached sanitizer/profiler shards through warp
+  /// begin/suspend/resume/end. Rethrows the first kernel exception after
+  /// abandoning the remaining fibers.
+  void run(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, void* kernel,
+           KernelBody body);
+
+  /// Yield point, invoked by WarpCtx from inside the executing warp's fiber
+  /// at the end of every memory operation.
+  void yield_point();
+
+ private:
+  struct Slot {
+    WarpScheduler* owner = nullptr;
+    Fiber fiber;
+    std::uint64_t warp = 0;
+    bool live = false;
+    bool fresh = true;     ///< shards not yet told about this warp
+    bool stalled = false;  ///< gto: the last residency ended on an L2 miss
+    SanShard::WarpState san_state{};
+    ProfShard::WarpState prof_state{};
+  };
+
+  static void fiber_entry(void* raw);
+
+  void arm(Slot& slot, std::uint64_t warp);
+  /// Next slot to resume, per policy. Pre: live_count_ > 0.
+  [[nodiscard]] std::size_t pick();
+
+  SchedPolicy policy_;
+  int window_;
+  WarpCtx* ctx_ = nullptr;
+  void* kernel_ = nullptr;
+  KernelBody body_ = nullptr;
+  const KernelStats* stats_ = nullptr;
+  SanShard* san_ = nullptr;
+  ProfShard* prof_ = nullptr;
+  std::uint64_t next_warp_ = 0;
+  std::uint64_t hi_ = 0;
+  std::size_t live_count_ = 0;
+  std::size_t current_ = 0;
+  std::size_t rr_next_ = 0;     ///< round-robin cursor
+  std::uint64_t dram_mark_ = 0; ///< stats_->dram_bytes when current_ resumed
+  std::exception_ptr error_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace spaden::sim

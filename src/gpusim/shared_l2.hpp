@@ -1,0 +1,65 @@
+// Opt-in shared, set-sharded L2 model for the parallel launcher.
+//
+// The default parallel launcher gives each virtual SM a private L2 capacity
+// slice (capacity/T) so counters are deterministic. This class instead
+// models the hardware's ONE L2 shared by all SMs: the sector address space
+// is striped over N = 2^k shards, each shard owning every N-th sector with
+// its own lock and its own SectorCache of capacity/N — the banked-L2
+// analogue of a striped hash map.
+//
+// Exactness: SectorCache's set index is the low bits of the sector number,
+// so striping by sector modulo a power of two is a *partition of the
+// monolithic cache's sets*. Every sector lands in the same set contents it
+// would in one big cache, and LRU stamps are only ever compared within one
+// set, so per-stripe clocks change nothing. A single-threaded pass through
+// the sharded cache therefore classifies every access bit-for-bit like the
+// monolithic SectorCache (tested). With several simulation threads the
+// interleaving at each stripe follows the host schedule — hit/miss counters
+// then wobble run-to-run, exactly like profiling real shared caches, while
+// kernel numerics stay exact (see docs/performance_model.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gpusim/cache.hpp"
+
+namespace spaden::sim {
+
+class SharedL2 {
+ public:
+  /// Stripes are capped at this count (or the total set count if smaller).
+  static constexpr std::uint64_t kMaxStripes = 64;
+
+  SharedL2(std::uint64_t capacity_bytes, int ways, std::uint32_t sector_bytes);
+
+  /// Probe/insert the sector containing `byte_addr`; true on hit.
+  /// Thread-safe: locks only the stripe owning the sector.
+  bool access(std::uint64_t byte_addr);
+
+  /// Drop all cached state (cold-cache experiments). Not thread-safe.
+  void flush();
+
+  [[nodiscard]] int stripes() const { return static_cast<int>(stripes_.size()); }
+  [[nodiscard]] std::uint32_t sector_bytes() const { return sector_bytes_; }
+  /// Aggregate probe counters; call only while no launch is in flight.
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  struct Stripe {
+    Stripe(std::uint64_t capacity_bytes, int ways, std::uint32_t sector_bytes)
+        : cache(capacity_bytes, ways, sector_bytes) {}
+    alignas(64) std::mutex mu;  // own cache line: stripe locks never false-share
+    SectorCache cache;
+  };
+
+  std::uint32_t sector_bytes_;
+  std::uint64_t stripe_mask_ = 0;
+  int stripe_shift_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace spaden::sim

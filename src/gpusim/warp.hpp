@@ -39,6 +39,11 @@ Lanes<T> make_lanes(T value) {
 /// Lane indices 0..31 (threadIdx.x % 32).
 Lanes<std::uint32_t> lane_ids();
 
+class WarpScheduler;
+/// Out-of-line hop into the scheduler's yield point (keeps warp.hpp free of
+/// the scheduler header; defined in sched/scheduler.cpp).
+void sched_yield_point(WarpScheduler& sched);
+
 /// Number of active lanes in a mask, as a charge-friendly count.
 [[nodiscard]] inline std::uint64_t active_lanes(std::uint32_t mask) {
   return static_cast<std::uint64_t>(std::popcount(mask));
@@ -61,6 +66,18 @@ class WarpCtx {
   /// profiler never charges counters, so modeled time is unaffected.
   void set_profiler(ProfShard* shard) { prof_ = shard; }
   [[nodiscard]] ProfShard* profiler() const { return prof_; }
+
+  /// Attach a warp scheduler (gpusim/sched): every global-memory operation
+  /// then becomes a yield point where another resident warp of this virtual
+  /// SM may advance. Null (the default) keeps run-to-completion execution
+  /// at the cost of one pointer test per memory operation. Yield points sit
+  /// after the operation's charging and recording, so a warp instruction is
+  /// atomic with respect to warp switches. What may a kernel hold across a
+  /// yield? Anything per-warp (locals, fragments, open ProfRanges); what it
+  /// must NOT assume is inter-warp ordering beyond atomics — the same
+  /// contract CUDA gives it (docs/writing_kernels.md).
+  void set_scheduler(WarpScheduler* sched) { sched_ = sched; }
+  [[nodiscard]] WarpScheduler* scheduler() const { return sched_; }
 
   /// NVTX-style named phase markers: counters accumulated between push and
   /// the matching pop are attributed to `name` in the launch's profile.
@@ -111,6 +128,7 @@ class WarpCtx {
     if (san_ != nullptr) {
       record_lanes(SanAccess::Load, addrs, sizes, mask);
     }
+    maybe_yield();
     return out;
   }
 
@@ -135,6 +153,7 @@ class WarpCtx {
     if (san_ != nullptr) {
       record_lanes(SanAccess::Store, addrs, sizes, mask);
     }
+    maybe_yield();
   }
 
   /// Broadcast scalar load: one lane loads, the value is shuffled to all
@@ -148,7 +167,9 @@ class WarpCtx {
       san_->begin_instr(SanAccess::Load, 0x1u);
       san_->lane_access(0, src.addr_of(idx), sizeof(T));
     }
-    return src.data[idx];
+    const T value = src.data[idx];
+    maybe_yield();
+    return value;
   }
 
   /// Scalar store from one lane.
@@ -162,6 +183,7 @@ class WarpCtx {
       san_->begin_instr(SanAccess::Store, 0x1u);
       san_->lane_access(0, dst.addr_of(idx), sizeof(T));
     }
+    maybe_yield();
   }
 
   /// Per-lane atomic add (atomicAdd on float). Genuinely atomic on the
@@ -190,6 +212,7 @@ class WarpCtx {
     if (san_ != nullptr) {
       record_lanes(SanAccess::Atomic, addrs, sizes, mask);
     }
+    maybe_yield();
   }
 
   /// Single atomic fetch-add issued by one lane (dynamic work distribution:
@@ -208,6 +231,7 @@ class WarpCtx {
       san_->begin_instr(SanAccess::Atomic, 0x1u);
       san_->lane_access(0, addrs[0], sizes[0]);
     }
+    maybe_yield();
     return old;
   }
 
@@ -293,10 +317,19 @@ class WarpCtx {
     }
   }
 
+  /// Yield point: give the scheduler (when attached) the chance to switch
+  /// to another resident warp. Called at the END of each memory operation.
+  void maybe_yield() {
+    if (sched_ != nullptr) {
+      sched_yield_point(*sched_);
+    }
+  }
+
   MemoryController* mc_;
   KernelStats* stats_;
   SanShard* san_ = nullptr;
   ProfShard* prof_ = nullptr;
+  WarpScheduler* sched_ = nullptr;
 };
 
 /// RAII range marker: pops on scope exit, so kernels with early returns

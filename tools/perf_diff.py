@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two spaden-bench-v1 JSON exports and fail on GFLOPS regressions.
+
+CI uses this to diff every run's BENCH_*.json against the previous run's
+artifact, so a change that silently degrades a kernel's *modeled* GFLOPS
+(more DRAM traffic, lost coalescing, a cache model regression) fails the
+build instead of drifting until someone re-reads the figures.
+
+    perf_diff.py BASELINE CURRENT [--tolerance 0.02] [--skip-method NAME]...
+
+Runs are matched by (method, device, matrix). A current run whose gflops is
+more than `tolerance` below the baseline's is a regression; improvements
+and new/removed runs are reported but never fail. Methods whose results are
+inherently nondeterministic across host-thread schedules (LightSpMV's
+atomic row counter at SPADEN_SIM_THREADS > 1) can be skipped; pin
+SPADEN_SIM_THREADS=1 in the generating job to make every method exact.
+
+Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "spaden-bench-v1":
+        sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def key_of(run):
+    return (run["method"], run["device"], run["matrix"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="allowed fractional gflops drop before failing (default 0.02)",
+    )
+    parser.add_argument(
+        "--skip-method",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="exclude a method from comparison (repeatable)",
+    )
+    args = parser.parse_args()
+
+    base_doc = load_runs(args.baseline)
+    curr_doc = load_runs(args.current)
+    if base_doc.get("scale") != curr_doc.get("scale"):
+        print(
+            f"note: scales differ ({base_doc.get('scale')} vs "
+            f"{curr_doc.get('scale')}); gflops are not comparable",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    base = {key_of(r): r for r in base_doc["runs"] if r["method"] not in args.skip_method}
+    curr = {key_of(r): r for r in curr_doc["runs"] if r["method"] not in args.skip_method}
+
+    regressions = []
+    improvements = []
+    for key in sorted(base.keys() & curr.keys()):
+        old = base[key]["gflops"]
+        new = curr[key]["gflops"]
+        if old <= 0:
+            continue
+        delta = new / old - 1.0
+        if delta < -args.tolerance:
+            regressions.append((key, old, new, delta))
+        elif delta > args.tolerance:
+            improvements.append((key, old, new, delta))
+
+    for key, old, new, delta in improvements:
+        print(f"improved  {'/'.join(key):<45} {old:8.1f} -> {new:8.1f} ({delta:+.1%})")
+    for key in sorted(curr.keys() - base.keys()):
+        print(f"new       {'/'.join(key)}")
+    for key in sorted(base.keys() - curr.keys()):
+        print(f"removed   {'/'.join(key)}")
+    for key, old, new, delta in regressions:
+        print(f"REGRESSED {'/'.join(key):<45} {old:8.1f} -> {new:8.1f} ({delta:+.1%})")
+
+    compared = len(base.keys() & curr.keys())
+    print(
+        f"{compared} runs compared, {len(regressions)} regressions, "
+        f"{len(improvements)} improvements (tolerance {args.tolerance:.1%})"
+    )
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 //
 //   spaden info <matrix>                 structure + format recommendation
 //   spaden spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]
+//               [--sched serial|rr|gto] [--shared-l2]
 //               [--sancheck] [--profile out.json] [--trace out.json]
 //   spaden convert <in.mtx> <out.mtx> [--reorder rcm|degree]
 //   spaden datasets                      list the Table 1 registry
@@ -32,6 +33,8 @@ struct Args {
   double scale = 0.25;
   int iters = 1;
   int threads = 0;  // 0 = SPADEN_SIM_THREADS / hardware default
+  std::string sched;     // --sched serial|rr|gto[:window]; "" = SPADEN_SIM_SCHED
+  bool shared_l2 = false;
   bool sancheck = false;
   std::string profile_out;  // --profile FILE: spaden-prof JSON report
   std::string trace_out;    // --trace FILE: chrome://tracing timeline
@@ -57,6 +60,10 @@ Args parse(int argc, char** argv) {
       args.iters = std::atoi(next("--iters").c_str());
     } else if (a == "--threads") {
       args.threads = std::atoi(next("--threads").c_str());
+    } else if (a == "--sched") {
+      args.sched = next("--sched");
+    } else if (a == "--shared-l2") {
+      args.shared_l2 = true;
     } else if (a == "--sancheck") {
       args.sancheck = true;
     } else if (a == "--profile") {
@@ -121,6 +128,15 @@ int cmd_spmv(const Args& args) {
   EngineOptions options;
   options.device = sim::device_by_name(args.device);
   options.sim_threads = args.threads;
+  if (!args.sched.empty()) {
+    std::string policy = args.sched;
+    if (const auto colon = policy.find(':'); colon != std::string::npos) {
+      options.sched.window = std::atoi(policy.c_str() + colon + 1);
+      policy.resize(colon);
+    }
+    options.sched.policy = sim::sched_policy_by_name(policy);
+  }
+  options.shared_l2 = options.shared_l2 || args.shared_l2;
   options.sanitize = options.sanitize || args.sancheck;
   options.profile = options.profile || !args.profile_out.empty() || !args.trace_out.empty();
   if (!args.method.empty()) {
@@ -226,6 +242,8 @@ int main(int argc, char** argv) {
           "usage: spaden <info|spmv|convert|datasets|probe> ...\n"
           "  info <matrix>                     structure + format recommendation\n"
           "  spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]\n"
+          "                [--sched P]       warp scheduling: serial|rr|gto[:window]\n"
+          "                [--shared-l2]     shared set-sharded L2 (vs per-SM slices)\n"
           "                [--sancheck]      run under spaden-sancheck (exit 3 on findings)\n"
           "                [--profile F.json] write the spaden-prof report (and print it)\n"
           "                [--trace F.json]   write a chrome://tracing timeline\n"
