@@ -1,16 +1,25 @@
 // Warp->SM partition study: contiguous equal-count chunks vs the
-// nnz-balanced split (gpusim/sched WarpPartition::NnzBalanced).
+// nnz-balanced split vs round-robin striping (gpusim/sched WarpPartition).
 //
 // A power-law matrix concentrates nnz in a few rows, so equal *warp* counts
 // give very unequal *work* per virtual SM; the slowest SM sets the modeled
 // time. The nnz-balanced option cuts the same contiguous grid where the
-// per-warp nnz prefix sum crosses equal shares instead. spaden-prof's
-// per-SM section measures the result: sm_imbalance (max/mean of per-SM
-// seconds) should drop toward 1.0 while numerics stay bit-identical.
+// per-warp nnz prefix sum crosses equal shares instead; round-robin
+// striping deals warps to SMs like cards (SM t gets warps w ≡ t mod T),
+// which spreads hub rows statistically without needing weights at all.
+// spaden-prof's per-SM section measures the result: sm_imbalance (max/mean
+// of per-SM seconds) should drop toward 1.0 while numerics stay
+// bit-identical. Each strategy also dumps its chrome://tracing timeline
+// next to the BENCH json so the imbalance is visible as ragged SM lanes.
 //
 // Uses CSR Warp16 (16 rows per warp, the same row granularity as Spaden),
 // whose warp->row mapping is static: warp w covers rows [16w, 16w+16).
+// The kernel derives its own per-warp nnz weights in do_prepare (the
+// engine-policy promotion of what used to be a local helper here), so the
+// bench only selects the partition strategy.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -21,16 +30,18 @@
 namespace spaden {
 namespace {
 
-constexpr unsigned kRowsPerWarp = 16;
 constexpr int kSimThreads = 4;
 
-std::vector<std::uint64_t> warp_nnz_weights(const mat::Csr& a) {
-  const std::uint64_t warps = (a.nrows + kRowsPerWarp - 1) / kRowsPerWarp;
-  std::vector<std::uint64_t> weights(warps, 0);
-  for (mat::Index row = 0; row < a.nrows; ++row) {
-    weights[row / kRowsPerWarp] += a.row_ptr[row + 1] - a.row_ptr[row];
+const char* partition_name(sim::WarpPartition p) {
+  switch (p) {
+    case sim::WarpPartition::Contiguous:
+      return "contiguous";
+    case sim::WarpPartition::NnzBalanced:
+      return "nnz-balanced";
+    case sim::WarpPartition::RoundRobinStripe:
+      return "rr-stripe";
   }
-  return weights;
+  return "?";
 }
 
 struct PartitionResult {
@@ -44,9 +55,8 @@ PartitionResult run_partition(const mat::Csr& a, sim::WarpPartition partition) {
   device.set_sim_threads(kSimThreads);
   device.set_profile(true);
   device.set_partition(partition);
-  device.set_warp_weights(warp_nnz_weights(a));
   auto kernel = kern::make_kernel(kern::Method::CsrWarp16);
-  kernel->prepare(device, a);
+  kernel->prepare(device, a);  // installs the per-warp nnz weights
   std::vector<float> x(a.ncols, 1.0f);
   auto xb = device.memory().upload(x);
   auto yb = device.memory().alloc<float>(a.nrows);
@@ -58,18 +68,27 @@ PartitionResult run_partition(const mat::Csr& a, sim::WarpPartition partition) {
   const sim::ProfileReport& report = device.profile_log().back();
   result.imbalance = report.sm_imbalance();
   std::printf("  %-13s sm_imbalance %.3f, modeled %.2f us; per-SM warps/seconds:\n",
-              partition == sim::WarpPartition::Contiguous ? "contiguous" : "nnz-balanced",
-              result.imbalance, result.modeled_seconds * 1e6);
+              partition_name(partition), result.imbalance, result.modeled_seconds * 1e6);
   for (const sim::SmProfile& sm : report.sms) {
     std::printf("    SM %d: %6llu warps  %.2f us\n", sm.sm,
                 static_cast<unsigned long long>(sm.warps), sm.seconds() * 1e6);
   }
+
+  // One timeline per strategy, next to the BENCH json: open both traces in
+  // chrome://tracing and the equal-count split's ragged lanes are obvious.
+  const char* dir_env = std::getenv("SPADEN_BENCH_DIR");
+  const std::string dir = dir_env != nullptr && dir_env[0] != '\0' ? dir_env : ".";
+  const std::string trace_path =
+      dir + "/TRACE_sched_partition_" + partition_name(partition) + ".json";
+  write_text_file(trace_path, sim::chrome_trace_json(device.profile_log()));
+  std::printf("    wrote %s\n", trace_path.c_str());
   return result;
 }
 
 int run() {
   const double scale = mat::bench_scale();
-  bench::print_banner("sched_partition: contiguous vs nnz-balanced warp->SM split", scale);
+  bench::print_banner("sched_partition: contiguous vs nnz-balanced vs rr-stripe warp->SM split",
+                      scale);
   bench::BenchJson json("sched_partition", scale);
 
   // R-MAT power-law graph: a few dense hub rows, a long sparse tail — the
@@ -81,20 +100,28 @@ int run() {
 
   const PartitionResult contiguous = run_partition(a, sim::WarpPartition::Contiguous);
   const PartitionResult balanced = run_partition(a, sim::WarpPartition::NnzBalanced);
+  const PartitionResult striped = run_partition(a, sim::WarpPartition::RoundRobinStripe);
 
-  SPADEN_REQUIRE(contiguous.y == balanced.y,
+  SPADEN_REQUIRE(contiguous.y == balanced.y && contiguous.y == striped.y,
                  "partition changed numerics: the split must only move warp "
                  "boundaries, never results");
+  SPADEN_REQUIRE(balanced.imbalance <= 1.2,
+                 "nnz-balanced partition left max/mean imbalance %.3f > 1.2 on the "
+                 "R-MAT input",
+                 balanced.imbalance);
   std::printf(
       "\nnnz-balanced vs contiguous: imbalance %.3f -> %.3f, modeled time %+.1f%%; "
-      "y bit-identical\n",
+      "rr-stripe: %.3f; y bit-identical across all three\n",
       contiguous.imbalance, balanced.imbalance,
-      100.0 * (balanced.modeled_seconds / contiguous.modeled_seconds - 1.0));
+      100.0 * (balanced.modeled_seconds / contiguous.modeled_seconds - 1.0),
+      striped.imbalance);
 
   json.add_metric("sm_imbalance_contiguous", contiguous.imbalance);
   json.add_metric("sm_imbalance_nnz_balanced", balanced.imbalance);
+  json.add_metric("sm_imbalance_rr_stripe", striped.imbalance);
   json.add_metric("modeled_seconds_contiguous", contiguous.modeled_seconds);
   json.add_metric("modeled_seconds_nnz_balanced", balanced.modeled_seconds);
+  json.add_metric("modeled_seconds_rr_stripe", striped.modeled_seconds);
   json.write();
   return 0;
 }

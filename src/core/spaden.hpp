@@ -46,11 +46,15 @@ struct EngineOptions {
   /// Warp scheduling policy of the simulator (gpusim/sched): serial =
   /// run-to-completion (bit-for-bit the classic launcher), rr / gto
   /// interleave resident warps so the cache models see realistic access
-  /// streams. Defaults to the SPADEN_SIM_SCHED env var.
-  sim::SchedConfig sched = sim::default_sched();
+  /// streams and the latency model can expose uncovered stalls.
+  /// SPADEN_SIM_SCHED wins when set (including "serial"); otherwise the
+  /// engine defaults to rr with an occupancy-derived resident window.
+  sim::SchedConfig sched = sim::default_engine_sched();
   /// Model the L2 as one shared set-sharded cache across virtual SMs
-  /// instead of per-SM capacity slices. Defaults to SPADEN_SIM_SHARED_L2.
-  bool shared_l2 = sim::default_shared_l2();
+  /// instead of per-SM capacity slices. SPADEN_SIM_SHARED_L2 wins when set
+  /// (including "0"); otherwise the engine defaults to the shared L2 the
+  /// interleaved timing constants were calibrated for.
+  bool shared_l2 = sim::default_engine_shared_l2();
 };
 
 /// Result of one multiply.

@@ -39,6 +39,18 @@ bool default_shared_l2() {
   return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
 }
 
+bool default_engine_shared_l2() {
+  const char* env = std::getenv("SPADEN_SIM_SHARED_L2");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strcmp(env, "0") != 0;  // env always wins, including "0"
+  }
+  // Pair the L2 model with the scheduling default: interleaved scheduling
+  // was calibrated against the shared set-sharded L2, while an explicit
+  // SPADEN_SIM_SCHED=serial keeps the pre-recalibration slice L2 so serial
+  // runs stay bit-for-bit reproducible against historical outputs.
+  return default_engine_sched().policy != SchedPolicy::Serial;
+}
+
 SharedL2* Device::ensure_shared_l2() {
   if (shared_l2_ == nullptr) {
     shared_l2_ = std::make_unique<SharedL2>(spec_.l2_capacity_bytes, spec_.l2_ways,

@@ -23,8 +23,10 @@
 //    (gpusim/sched, set_sched / SPADEN_SIM_SCHED / --sched) closes this:
 //    `rr` and `gto` interleave an occupancy-limited window of resident
 //    warps per virtual SM on stackful fibers, deterministic at a fixed
-//    thread count; `serial` (the default) is the classic launcher
-//    bit-for-bit.
+//    thread count, and additionally model issue/latency cycles so stalls
+//    nothing could cover feed estimate_time's t_stall term. `serial` (the
+//    raw-Device default; the engine defaults to rr + shared L2 since the
+//    recalibration) is the classic launcher bit-for-bit.
 //  * With T>1 threads the L2 is modeled as T private capacity slices of
 //    size capacity/T rather than one shared array (the deterministic
 //    alternative to a shared locked cache, whose hit pattern would depend
@@ -76,6 +78,13 @@ namespace spaden::sim {
 /// anything but "" or "0" enables the shared set-sharded L2 on new devices.
 [[nodiscard]] bool default_shared_l2();
 
+/// Shared-L2 default for SpmvEngine devices: SPADEN_SIM_SHARED_L2 wins when
+/// set (including "0" to force slices), otherwise the shared set-sharded L2
+/// is ON — the configuration the interleaved timing constants were
+/// calibrated for (tools/calibrate_sched.py). Raw Device construction keeps
+/// the conservative default_shared_l2() (off unless the env asks).
+[[nodiscard]] bool default_engine_shared_l2();
+
 /// Result of one kernel launch: measured counters + modeled time.
 struct LaunchResult {
   std::string kernel_name;
@@ -98,12 +107,28 @@ class Device {
  public:
   explicit Device(DeviceSpec spec)
       : spec_(std::move(spec)),
+        ilv_spec_(spec_),
         l1_(spec_.l1_capacity_bytes, spec_.l1_ways, spec_.sector_bytes),
         l2_(spec_.l2_capacity_bytes, spec_.l2_ways, spec_.sector_bytes),
         controller_(&l1_, &l2_, &scratch_stats_),
-        threads_(default_sim_threads()) {}
+        threads_(default_sim_threads()) {
+    ilv_spec_.lsu_wavefronts_per_cycle = spec_.lsu_wavefronts_per_cycle_ilv;
+    ilv_spec_.cuda_issue_efficiency = spec_.cuda_issue_efficiency_ilv;
+  }
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+  /// The spec the timing model should read constants from: spec_ as-is for
+  /// the serial policy, or a copy with the interleaved-calibrated issue
+  /// constants (lsu_wavefronts_per_cycle_ilv / cuda_issue_efficiency_ilv)
+  /// swapped in when warps interleave — the scheduler then charges latency
+  /// exposure explicitly, so the serial constants' implicit latency derating
+  /// must not be applied twice. Kernels that assemble multi-launch results
+  /// by hand should call estimate_time with this, not spec().
+  [[nodiscard]] const DeviceSpec& timing_spec() const {
+    return sched_.policy == SchedPolicy::Serial ? spec_ : ilv_spec_;
+  }
+
   [[nodiscard]] DeviceMemory& memory() { return memory_; }
 
   /// Host threads used to execute launches. 1 = the exact serial launcher.
@@ -126,15 +151,23 @@ class Device {
   void set_shared_l2(bool enabled) { shared_l2_on_ = enabled; }
 
   /// How the parallel launcher splits the warp grid across virtual SMs.
-  /// NnzBalanced picks contiguous boundaries by warp-weight prefix sums
-  /// (weights from set_warp_weights); with no matching weights it falls
-  /// back to the contiguous equal-count split.
+  /// NnzBalanced (the default) picks contiguous boundaries by warp-weight
+  /// prefix sums (weights from set_warp_weights); with no matching weights
+  /// it falls back to the contiguous equal-count split, so kernels that
+  /// install no weights behave exactly like Contiguous. RoundRobinStripe
+  /// spreads neighbouring warps across SMs (warp w on SM w mod T).
   [[nodiscard]] WarpPartition partition() const { return partition_; }
   void set_partition(WarpPartition partition) { partition_ = partition; }
   /// Per-warp weights (e.g. nnz per warp) consumed by NnzBalanced. Used by
   /// launches whose warp count equals weights.size(); ignored otherwise.
+  /// Kernels derive and install these in do_prepare (block-row popcounts
+  /// for the bitmap formats, row extents for the CSR family), so the engine
+  /// balances power-law matrices automatically.
   void set_warp_weights(std::vector<std::uint64_t> weights) {
     warp_weights_ = std::move(weights);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& warp_weights() const {
+    return warp_weights_;
   }
 
   /// spaden-sancheck (memcheck + racecheck + sync-lint). Off the timing
@@ -207,10 +240,10 @@ class Device {
         report_findings(result.sanitizer);
       }
     }
-    result.time = estimate_time(spec_, result.stats);
+    result.time = estimate_time(timing_spec(), result.stats);
     if (profile_) {
       ProfileReport report =
-          profile_analyze(result.kernel_name, spec_, result.stats, result.time, pshards);
+          profile_analyze(result.kernel_name, timing_spec(), result.stats, result.time, pshards);
       result.profile = report;
       result.profile.events.clear();  // full timeline lives in profile_log()
       prof_log_.push_back(std::move(report));
@@ -251,13 +284,18 @@ class Device {
     (*static_cast<Kernel*>(kernel))(ctx, warp);
   }
 
-  /// Run warps [lo, hi) on `ctx`: the classic run-to-completion loop for
-  /// policy Serial, or the fiber scheduler for rr/gto.
+  /// Run warps {start + i*stride : i in [0, count)} on `ctx`: the classic
+  /// run-to-completion loop for policy Serial, or the fiber scheduler for
+  /// rr/gto (which also models issue/latency cycles and charges exposed
+  /// stalls). stride 1 is a contiguous range; stride T the round-robin
+  /// stripe. `num_warps` is the full launch's warp count (window sizing).
   template <typename Kernel>
-  void run_warps(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, std::uint64_t num_warps,
-                 Kernel& kernel, SanShard* shard, ProfShard* pshard) {
+  void run_warps(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
+                 std::uint64_t count, std::uint64_t num_warps, Kernel& kernel,
+                 SanShard* shard, ProfShard* pshard) {
     if (sched_.policy == SchedPolicy::Serial) {
-      for (std::uint64_t w = lo; w < hi; ++w) {
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t w = start + i * stride;
         if (shard != nullptr) {
           shard->begin_warp(w);
         }
@@ -271,8 +309,9 @@ class Device {
       }
     } else {
       using K = std::remove_reference_t<Kernel>;
-      WarpScheduler sched(sched_.policy, resident_window(spec_, sched_, num_warps));
-      sched.run(ctx, lo, hi,
+      WarpScheduler sched(sched_.policy, resident_window(spec_, sched_, num_warps),
+                          &timing_spec());
+      sched.run(ctx, start, stride, count,
                 const_cast<void*>(static_cast<const void*>(std::addressof(kernel))),
                 &Device::invoke_kernel<K>);
     }
@@ -289,7 +328,7 @@ class Device {
     if (pshard != nullptr) {
       pshard->attach(&stats);
     }
-    run_warps(ctx, 0, num_warps, num_warps, kernel, shard, pshard);
+    run_warps(ctx, 0, 1, num_warps, num_warps, kernel, shard, pshard);
     if (pshard != nullptr) {
       pshard->finish();
     }
@@ -304,11 +343,13 @@ class Device {
     ensure_sms();
     ensure_pool();
     const auto t_count = static_cast<std::uint64_t>(threads_);
-    const std::vector<std::uint64_t> bounds = partition_bounds(num_warps);
+    const bool stripe = partition_ == WarpPartition::RoundRobinStripe;
+    const std::vector<std::uint64_t> bounds =
+        stripe ? std::vector<std::uint64_t>{} : partition_bounds(num_warps);
     std::vector<KernelStats> local_stats(t_count);
     std::vector<std::exception_ptr> errors(t_count);
-    pool_->run([this, &bounds, &kernel, &local_stats, &errors, shards, pshards,
-                shared](int worker) {
+    pool_->run([this, &bounds, &kernel, &local_stats, &errors, shards, pshards, shared,
+                stripe, t_count, num_warps](int worker) {
       const auto t = static_cast<std::uint64_t>(worker);
       try {
         VirtualSm& sm = *sms_[t];
@@ -322,7 +363,14 @@ class Device {
         if (pshard != nullptr) {
           pshard->attach(&local_stats[t]);
         }
-        run_warps(ctx, bounds[t], bounds[t + 1], bounds.back(), kernel, shard, pshard);
+        if (stripe) {
+          const std::uint64_t count =
+              num_warps > t ? (num_warps - t + t_count - 1) / t_count : 0;
+          run_warps(ctx, t, t_count, count, num_warps, kernel, shard, pshard);
+        } else {
+          run_warps(ctx, bounds[t], 1, bounds[t + 1] - bounds[t], bounds.back(), kernel,
+                    shard, pshard);
+        }
         if (pshard != nullptr) {
           pshard->finish();
         }
@@ -344,6 +392,7 @@ class Device {
   }
 
   DeviceSpec spec_;
+  DeviceSpec ilv_spec_;  ///< spec_ with the interleaved issue constants (timing_spec())
   DeviceMemory memory_;
   SectorCache l1_;
   SectorCache l2_;
@@ -353,7 +402,7 @@ class Device {
   SchedConfig sched_ = default_sched();
   bool shared_l2_on_ = default_shared_l2();
   std::unique_ptr<SharedL2> shared_l2_;  // lazily built when enabled
-  WarpPartition partition_ = WarpPartition::Contiguous;
+  WarpPartition partition_ = WarpPartition::NnzBalanced;
   std::vector<std::uint64_t> warp_weights_;
   bool sanitize_ = default_sancheck();
   SanitizerReport san_log_;

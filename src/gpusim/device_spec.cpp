@@ -26,6 +26,15 @@ DeviceSpec l40() {
   d.mma_m8n8k4_efficiency = 0.03;
   d.mma_m16n16k16_efficiency = 1.0;
   d.kernel_launch_us = 0.5;
+  // Ada at 2.49 GHz: ~13 ns L1, ~85 ns L2, ~250 ns GDDR6 load-to-use.
+  d.l1_latency_cycles = 33;
+  d.l2_latency_cycles = 210;
+  d.dram_latency_cycles = 620;
+  // Calibrated by tools/calibrate_sched.py against serial fig6 GFLOPS
+  // (constants table in docs/performance_model.md).
+  d.lsu_wavefronts_per_cycle_ilv = 1.0;
+  d.cuda_issue_efficiency_ilv = 0.7;
+  d.mem_parallelism_ilv = 4.0;
   return d;
 }
 
@@ -46,6 +55,13 @@ DeviceSpec v100() {
   d.mma_m8n8k4_efficiency = 1.0;  // native Volta shape
   d.mma_m16n16k16_efficiency = 1.0;
   d.kernel_launch_us = 0.6;
+  // Volta at 1.53 GHz: ~18 ns L1, ~126 ns L2, ~280 ns HBM2 load-to-use.
+  d.l1_latency_cycles = 28;
+  d.l2_latency_cycles = 193;
+  d.dram_latency_cycles = 430;
+  d.lsu_wavefronts_per_cycle_ilv = 1.0;
+  d.cuda_issue_efficiency_ilv = 0.7;
+  d.mem_parallelism_ilv = 4.0;
   return d;
 }
 
@@ -70,7 +86,7 @@ double launch_occupancy(const DeviceSpec& spec, std::uint64_t warps) {
 }
 
 TimeBreakdown estimate_component_time(const DeviceSpec& spec, const KernelStats& stats,
-                                      double occupancy) {
+                                      double occupancy, double stall_sms) {
   SPADEN_REQUIRE(spec.sm_count > 0 && spec.clock_ghz > 0, "device spec '%s' not initialized",
                  spec.name.c_str());
   SPADEN_REQUIRE(occupancy > 0 && occupancy <= 1.0, "occupancy %g out of (0, 1]", occupancy);
@@ -96,13 +112,27 @@ TimeBreakdown estimate_component_time(const DeviceSpec& spec, const KernelStats&
             flops884 / (spec.tc_half_tflops * 1e12 * spec.mma_m8n8k4_efficiency)) /
            occ;
 
-  t.total = std::max({t.t_dram, t.t_l2, t.t_lsu, t.t_cuda, t.t_tc});
+  // Exposed stalls are measured wall-clock cycles on the virtual SMs, not a
+  // throughput to derate, so no occupancy division: they just spread over
+  // however many real SMs the launch keeps busy.
+  const double sms = stall_sms > 0 ? stall_sms : static_cast<double>(spec.sm_count);
+  t.t_stall =
+      static_cast<double>(stats.exposed_stall_cycles) / (sms * spec.clock_ghz * 1e9);
+
+  t.total = std::max({t.t_dram, t.t_l2, t.t_lsu, t.t_cuda, t.t_tc}) + t.t_stall;
   return t;
+}
+
+/// SMs a launch of `warps` warps can spread its stall cycles over.
+static double stall_sm_count(const DeviceSpec& spec, std::uint64_t warps) {
+  const double active = static_cast<double>(std::max<std::uint64_t>(warps, 1));
+  return std::min(active, static_cast<double>(spec.sm_count));
 }
 
 TimeBreakdown estimate_time(const DeviceSpec& spec, const KernelStats& stats) {
   TimeBreakdown t =
-      estimate_component_time(spec, stats, launch_occupancy(spec, stats.warps_launched));
+      estimate_component_time(spec, stats, launch_occupancy(spec, stats.warps_launched),
+                              stall_sm_count(spec, stats.warps_launched));
   t.t_launch = spec.kernel_launch_us * 1e-6;
   t.total += t.t_launch;
   return t;

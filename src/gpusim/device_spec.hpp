@@ -69,6 +69,33 @@ struct DeviceSpec {
   /// Fraction of peak issue rate real memory-intermixed kernels achieve.
   double cuda_issue_efficiency = 0.7;
 
+  // --- interleaved-scheduler timing (gpusim/sched) ---
+  // Load-to-use latencies in SM cycles, by the level that served the access;
+  // the scheduler uses them to decide when a suspended warp becomes ready
+  // again and to measure *exposed* stall cycles (nothing issuable). Values
+  // are microbenchmark-scale per architecture, then nudged by
+  // tools/calibrate_sched.py (see docs/performance_model.md).
+  int l1_latency_cycles = 32;
+  int l2_latency_cycles = 200;
+  int dram_latency_cycles = 600;
+  /// Issue-side constants recalibrated for rr + --shared-l2 traffic
+  /// (tools/calibrate_sched.py): with exposed stalls charged explicitly by
+  /// the scheduler, part of the flat derating that stood in for latency
+  /// effects under serial timing is lifted. `Device::timing_spec()` swaps
+  /// these in for lsu_wavefronts_per_cycle / cuda_issue_efficiency whenever
+  /// the scheduling policy interleaves.
+  double lsu_wavefronts_per_cycle_ilv = 1.0;
+  double cuda_issue_efficiency_ilv = 0.7;
+  /// Outstanding memory requests per warp the latency model credits. The
+  /// simulator suspends a warp at *every* memory instruction and would
+  /// otherwise charge the full load-to-use latency per access, as if each
+  /// warp had a single MSHR; real warps keep several independent loads in
+  /// flight before the first use stalls them. Effective completion latency
+  /// is `latency_cycles / mem_parallelism_ilv` — the calibration constant
+  /// that keeps warm steady-state rr timing within the documented drift
+  /// bound of serial (tools/calibrate_sched.py).
+  double mem_parallelism_ilv = 4.0;
+
   /// Peak CUDA-core lane-op rate (ops/s): one op per core per cycle.
   [[nodiscard]] double cuda_op_rate() const {
     return static_cast<double>(sm_count) * cuda_cores_per_sm * clock_ghz * 1e9;
@@ -100,7 +127,11 @@ DeviceSpec v100();
 /// Look up a preset by name ("l40" or "v100"); throws on unknown name.
 DeviceSpec device_by_name(const std::string& name);
 
-/// Convert measured counters into a modeled execution time.
+/// Convert measured counters into a modeled execution time. When the stats
+/// carry exposed_stall_cycles (interleaved scheduling), an additive
+/// latency-exposure term t_stall = cycles / (min(warps, sm_count) * clock)
+/// joins the roofline: modeled time = launch + max(throughput terms) +
+/// stalls nothing could cover, spread over the SMs the launch can occupy.
 TimeBreakdown estimate_time(const DeviceSpec& spec, const KernelStats& stats);
 
 /// Occupancy factor estimate_time applies to a launch of `warps` warps
@@ -111,8 +142,12 @@ TimeBreakdown estimate_time(const DeviceSpec& spec, const KernelStats& stats);
 /// range or one virtual SM's share. Same rooflines as estimate_time but at
 /// the parent launch's occupancy and without the fixed launch overhead, so
 /// each per-resource term is additive across disjoint subsets and `total`
-/// (the max term) is comparable with the launch's total - t_launch.
+/// (the max term plus the subset's t_stall) is comparable with the launch's
+/// total - t_launch. `stall_sms` is the SM count the parent launch's stall
+/// cycles spread over (estimate_time's min(warps, sm_count)); pass the
+/// parent's value so t_stall stays additive across subsets, or 0 to default
+/// to spec.sm_count.
 TimeBreakdown estimate_component_time(const DeviceSpec& spec, const KernelStats& stats,
-                                      double occupancy);
+                                      double occupancy, double stall_sms = 0);
 
 }  // namespace spaden::sim

@@ -100,6 +100,9 @@ double term_by_name(const TimeBreakdown& t, const char* name) {
   if (std::strcmp(name, "cuda") == 0) {
     return t.t_cuda;
   }
+  if (std::strcmp(name, "stall") == 0) {
+    return t.t_stall;
+  }
   return t.t_tc;
 }
 
@@ -142,6 +145,12 @@ ProfileReport profile_analyze(std::string kernel_name, const DeviceSpec& spec,
   report.stats = launch_stats;
   report.time = launch_time;
   report.occupancy = launch_occupancy(spec, launch_stats.warps_launched);
+  // Stall cycles spread over the SMs the launch occupies (estimate_time's
+  // divisor); the same divisor for every subset keeps t_stall additive
+  // across ranges and SM shares.
+  const double stall_sms =
+      std::min(static_cast<double>(std::max<std::uint64_t>(launch_stats.warps_launched, 1)),
+               static_cast<double>(spec.sm_count));
 
   // Merge per-range accumulators, per-SM shares and the timeline in shard
   // order. Shards cover ascending, contiguous warp ranges, so first-seen
@@ -171,7 +180,7 @@ ProfileReport profile_analyze(std::string kernel_name, const DeviceSpec& spec,
     sm.warps = shard.warps_;
     sm.stats = shard.total_;
     sm.stats.warps_launched = 0;
-    sm.time = estimate_component_time(spec, sm.stats, report.occupancy);
+    sm.time = estimate_component_time(spec, sm.stats, report.occupancy, stall_sms);
     report.sms.push_back(std::move(sm));
 
     for (ProfEvent& e : shard.events_) {
@@ -191,12 +200,20 @@ ProfileReport profile_analyze(std::string kernel_name, const DeviceSpec& spec,
   // launch's, the attributed shares plus the unattributed remainder sum to
   // exactly the launch's compute time.
   const TimeBreakdown launch_compute =
-      estimate_component_time(spec, launch_stats, report.occupancy);
+      estimate_component_time(spec, launch_stats, report.occupancy, stall_sms);
   const char* bound = launch_compute.bound_by();
   for (RangeProfile& r : report.ranges) {
     r.stats.warps_launched = 0;  // a phase is not a launch
-    r.time = estimate_component_time(spec, r.stats, report.occupancy);
+    r.time = estimate_component_time(spec, r.stats, report.occupancy, stall_sms);
     r.attributed = term_by_name(r.time, bound);
+    if (std::strcmp(bound, "stall") != 0) {
+      // A range's exposed stalls are wall-clock on top of its share of the
+      // binding resource; t_stall is linear in the counter, so the shares
+      // plus the unattributed remainder still sum exactly to the launch's
+      // compute time. (When the launch itself is stall-bound, the term IS
+      // the attribution above.)
+      r.attributed += r.time.t_stall;
+    }
     report.range_names.push_back(r.name);
   }
   return report;
@@ -210,6 +227,11 @@ std::string ProfileReport::summary() const {
       static_cast<unsigned long long>(stats.warps_launched), occupancy, time.total * 1e6,
       time.bound_by(), static_cast<unsigned long long>(events.size()),
       truncated ? " [truncated]" : "");
+  if (stats.exposed_stall_cycles != 0) {
+    out += strfmt("exposed stalls: %llu cycles -> t_stall %.3f us\n",
+                  static_cast<unsigned long long>(stats.exposed_stall_cycles),
+                  time.t_stall * 1e6);
+  }
 
   if (!ranges.empty()) {
     Table table({"range", "calls", "time us", "share %", "bound", "dram B", "sectors",

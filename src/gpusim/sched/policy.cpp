@@ -53,6 +53,16 @@ SchedConfig default_sched() {
   return cfg;
 }
 
+SchedConfig default_engine_sched() {
+  const char* env = std::getenv("SPADEN_SIM_SCHED");
+  if (env != nullptr && env[0] != '\0') {
+    return default_sched();
+  }
+  SchedConfig cfg;
+  cfg.policy = SchedPolicy::RoundRobin;
+  return cfg;
+}
+
 int resident_window(const DeviceSpec& spec, const SchedConfig& cfg,
                     std::uint64_t num_warps) {
   const int max_resident = std::max(1, spec.max_warps_per_sm);

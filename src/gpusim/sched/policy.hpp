@@ -35,7 +35,15 @@ struct SchedConfig {
 
 /// Environment default: SPADEN_SIM_SCHED = "serial" | "rr" | "gto", with an
 /// optional ":window" suffix (e.g. "rr:8") to pin the resident window.
+/// Unset means serial — a raw Device stays the classic launcher.
 [[nodiscard]] SchedConfig default_sched();
+
+/// Engine-level scheduling default (EngineOptions::sched): SPADEN_SIM_SCHED
+/// wins when set (including "serial" to force the classic launcher);
+/// otherwise interleaved round-robin with the occupancy-derived window —
+/// the figure-generating mode since the rr + shared-L2 recalibration
+/// (docs/performance_model.md).
+[[nodiscard]] SchedConfig default_engine_sched();
 
 /// Occupancy-limited resident-warp window for one virtual SM: the device's
 /// maximum residency scaled by the launch's occupancy estimate, never below
@@ -44,12 +52,17 @@ struct SchedConfig {
 [[nodiscard]] int resident_window(const DeviceSpec& spec, const SchedConfig& cfg,
                                   std::uint64_t num_warps);
 
-/// How the parallel launcher splits the warp grid across virtual SMs. Both
-/// options produce contiguous ascending warp ranges (the invariant the
-/// profiler/sanitizer shard merge relies on).
+/// How the parallel launcher splits the warp grid across virtual SMs.
+/// Contiguous and NnzBalanced produce contiguous ascending warp ranges (the
+/// invariant that makes the profiler/sanitizer shard merge reproduce serial
+/// event order); RoundRobinStripe interleaves the grid — SM t runs warps
+/// {w : w mod T == t} — so merged event/range *order* may differ from
+/// serial while staying deterministic at a fixed thread count.
 enum class WarpPartition : std::uint8_t {
-  Contiguous = 0,  ///< equal warp counts: ceil(n/T) warps per SM
-  NnzBalanced,     ///< equal per-warp weight (e.g. nnz) per SM
+  Contiguous = 0,   ///< equal warp counts: ceil(n/T) warps per SM
+  NnzBalanced,      ///< equal per-warp weight (e.g. nnz) per SM; falls back
+                    ///< to Contiguous when no matching weights are installed
+  RoundRobinStripe, ///< warp w on SM (w mod T): neighbouring warps spread out
 };
 
 }  // namespace spaden::sim

@@ -7,8 +7,8 @@
 
 namespace spaden::sim {
 
-WarpScheduler::WarpScheduler(SchedPolicy policy, int window)
-    : policy_(policy), window_(window) {
+WarpScheduler::WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec)
+    : policy_(policy), window_(window), spec_(spec) {
   SPADEN_REQUIRE(policy != SchedPolicy::Serial,
                  "WarpScheduler requires an interleaving policy (rr|gto)");
   SPADEN_REQUIRE(window >= 1, "resident window %d must be >= 1", window);
@@ -29,49 +29,99 @@ void WarpScheduler::fiber_entry(void* raw) {
 
 void WarpScheduler::arm(Slot& slot, std::uint64_t warp) {
   slot.warp = warp;
+  slot.ready_at = 0;  // a fresh warp can issue immediately
   slot.live = true;
   slot.fresh = true;
   slot.stalled = false;
   slot.fiber.start(&WarpScheduler::fiber_entry, &slot);
 }
 
+double WarpScheduler::issue_cycles(const KernelStats& d) const {
+  // Cycles this SM's pipes were busy issuing the interval's work; the pipes
+  // overlap, so the busiest one sets the pace (same structure as the
+  // launch-level roofline, scaled to one SM).
+  const DeviceSpec& s = *spec_;
+  const double lsu = static_cast<double>(d.wavefronts) / s.lsu_wavefronts_per_cycle;
+  const double cuda = (static_cast<double>(d.cuda_ops) +
+                       s.atomic_weight * static_cast<double>(d.atomic_lane_ops)) /
+                      (static_cast<double>(s.cuda_cores_per_sm) * s.cuda_issue_efficiency);
+  const double tc = tc_flops_per_cycle_ > 0 ? d.tc_flops() / tc_flops_per_cycle_ : 0.0;
+  return std::max({lsu, cuda, tc});
+}
+
+double WarpScheduler::completion_latency(const KernelStats& d) const {
+  // A warp yields at the end of every memory instruction, so the interval's
+  // deltas classify the level that served it: any DRAM bytes mean the load
+  // waited on device memory, any L2 sectors mean an L1 miss served by L2,
+  // otherwise the L1 had it. The raw load-to-use latency is divided by the
+  // per-warp memory-parallelism credit: suspending at every instruction
+  // would otherwise model a single outstanding request per warp, while real
+  // warps keep several loads in flight before the first use stalls them.
+  const double mlp = std::max(1.0, spec_->mem_parallelism_ilv);
+  if (d.dram_bytes > 0) {
+    return static_cast<double>(spec_->dram_latency_cycles) / mlp;
+  }
+  if (d.sectors > 0) {
+    return static_cast<double>(spec_->l2_latency_cycles) / mlp;
+  }
+  return static_cast<double>(spec_->l1_latency_cycles) / mlp;
+}
+
 std::size_t WarpScheduler::pick() {
   const std::size_t n = slots_.size();
-  if (policy_ == SchedPolicy::RoundRobin) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t s = (rr_next_ + i) % n;
-      if (slots_[s]->live) {
-        rr_next_ = (s + 1) % n;
-        return s;
+  for (;;) {
+    if (policy_ == SchedPolicy::RoundRobin) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t s = (rr_next_ + i) % n;
+        if (slots_[s]->live && (!timing_ || slots_[s]->ready_at <= now_)) {
+          rr_next_ = (s + 1) % n;
+          return s;
+        }
       }
-    }
-  } else {
-    // Greedy-then-oldest: the oldest (smallest warp id) live warp that is
-    // not marked stalled; when every live warp is stalled, the modeled
-    // memory returns — clear the marks and take the oldest outright.
-    std::size_t best = n;
-    for (std::size_t s = 0; s < n; ++s) {
-      if (slots_[s]->live && !slots_[s]->stalled &&
-          (best == n || slots_[s]->warp < slots_[best]->warp)) {
-        best = s;
-      }
-    }
-    if (best == n) {
+    } else {
+      // Greedy-then-oldest: the oldest (smallest warp id) ready live warp
+      // that is not marked stalled; when every ready warp is stalled, the
+      // modeled memory returned — clear the marks and take the oldest
+      // outright.
+      std::size_t best = n;
       for (std::size_t s = 0; s < n; ++s) {
-        if (slots_[s]->live) {
-          slots_[s]->stalled = false;
-          if (best == n || slots_[s]->warp < slots_[best]->warp) {
-            best = s;
+        if (slots_[s]->live && !slots_[s]->stalled &&
+            (!timing_ || slots_[s]->ready_at <= now_) &&
+            (best == n || slots_[s]->warp < slots_[best]->warp)) {
+          best = s;
+        }
+      }
+      if (best == n) {
+        for (std::size_t s = 0; s < n; ++s) {
+          if (slots_[s]->live && (!timing_ || slots_[s]->ready_at <= now_)) {
+            slots_[s]->stalled = false;
+            if (best == n || slots_[s]->warp < slots_[best]->warp) {
+              best = s;
+            }
           }
         }
       }
+      if (best != n) {
+        return best;
+      }
     }
-    if (best != n) {
-      return best;
+    // Nothing ready. Without the latency model that means no live warp at
+    // all — a caller bug. With it, every resident warp is waiting on memory:
+    // jump the clock to the earliest completion and remember the gap as
+    // exposed stall cycles (charged once a warp's ranges are reopened).
+    SPADEN_ASSERT(timing_, "WarpScheduler::pick with no live warp");
+    double min_ready = 0;
+    bool any = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (slots_[s]->live && (!any || slots_[s]->ready_at < min_ready)) {
+        min_ready = slots_[s]->ready_at;
+        any = true;
+      }
     }
+    SPADEN_ASSERT(any && min_ready > now_, "stall advance with no pending completion");
+    pending_stall_ += min_ready - now_;
+    now_ = min_ready;
   }
-  SPADEN_ASSERT(false, "WarpScheduler::pick with no live warp");
-  return 0;
 }
 
 void WarpScheduler::yield_point() {
@@ -88,22 +138,24 @@ void WarpScheduler::yield_point() {
   slot.fiber.yield();
 }
 
-void WarpScheduler::run(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, void* kernel,
-                        KernelBody body) {
-  if (lo >= hi) {
+void WarpScheduler::run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
+                        std::uint64_t count, void* kernel, KernelBody body) {
+  if (count == 0) {
     return;
   }
+  SPADEN_REQUIRE(stride >= 1, "warp stride must be >= 1");
   ctx_ = &ctx;
   kernel_ = kernel;
   body_ = body;
   stats_ = &ctx.stats();
   san_ = ctx.sanitizer();
   prof_ = ctx.profiler();
-  hi_ = hi;
-  next_warp_ = lo;
-  const std::size_t window =
-      static_cast<std::size_t>(std::min<std::uint64_t>(
-          static_cast<std::uint64_t>(window_), hi - lo));
+  start_ = start;
+  stride_ = stride;
+  count_ = count;
+  next_idx_ = 0;
+  const std::size_t window = static_cast<std::size_t>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(window_), count));
   if (slots_.size() != window) {
     slots_.clear();
     slots_.reserve(window);
@@ -113,10 +165,20 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, void* 
     }
   }
   for (auto& slot : slots_) {
-    arm(*slot, next_warp_++);
+    arm(*slot, start_ + next_idx_++ * stride_);
   }
   live_count_ = window;
   rr_next_ = 0;
+  // The latency model needs >1 resident warp (a lone warp has nothing to
+  // cover its latency with — and the rr:1 window must stay bit-identical to
+  // the serial launcher) and a device spec to read latencies from.
+  timing_ = spec_ != nullptr && window > 1;
+  now_ = 0;
+  pending_stall_ = 0;
+  if (timing_) {
+    tc_flops_per_cycle_ = spec_->tc_half_tflops * 1e12 /
+                          (static_cast<double>(spec_->sm_count) * spec_->clock_ghz * 1e9);
+  }
   ctx.set_scheduler(this);
   while (live_count_ > 0) {
     const std::size_t s = pick();
@@ -140,7 +202,27 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, void* 
     slot.stalled = false;
     current_ = s;
     dram_mark_ = stats_->dram_bytes;
+    if (timing_) {
+      // Charge accumulated stall cycles now, after the incoming warp's
+      // profiler ranges were reopened: the exposure ends where this warp
+      // resumes, and the charge lands inside the range it suspended in
+      // (keeping range sums exact). Fractions below one cycle stay in
+      // pending_stall_ for the next gap.
+      const auto charge = static_cast<std::uint64_t>(pending_stall_);
+      if (charge > 0) {
+        stats_->exposed_stall_cycles += charge;
+        pending_stall_ -= static_cast<double>(charge);
+      }
+      interval_snap_ = *stats_;
+    }
     const bool suspended = slot.fiber.resume();
+    if (timing_) {
+      const KernelStats delta = *stats_ - interval_snap_;
+      now_ += issue_cycles(delta);
+      if (suspended) {
+        slot.ready_at = now_ + completion_latency(delta);
+      }
+    }
     if (suspended) {
       if (san_ != nullptr) {
         slot.san_state = san_->save_warp();
@@ -155,8 +237,8 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, void* 
       if (error_) {
         break;  // abandon the remaining fibers, rethrow below
       }
-      if (next_warp_ < hi_) {
-        arm(slot, next_warp_++);  // rotate the next warp into the slot
+      if (next_idx_ < count_) {
+        arm(slot, start_ + next_idx_++ * stride_);  // rotate the next warp in
       } else {
         slot.live = false;
         --live_count_;

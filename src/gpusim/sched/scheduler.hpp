@@ -10,12 +10,28 @@
 // finishes, its slot is refilled with the next warp of the SM's range, like
 // a fresh thread block rotating in.
 //
+// Latency model: when a DeviceSpec is attached, the scheduler keeps a
+// virtual SM clock (in cycles). Each residency interval advances the clock
+// by the issue cost of what the warp charged (LSU wavefronts, CUDA lane-ops,
+// tensor-core FLOPs — whichever pipe is the bottleneck), and a warp that
+// suspends on a memory op becomes ready again only after the latency of the
+// level that served it (L1/L2/DRAM, classified from the interval's counter
+// deltas, divided by the spec's per-warp memory-parallelism credit — real
+// warps keep several loads in flight). The policy only picks among *ready*
+// warp is waiting, the clock jumps to the earliest completion and the gap is
+// charged to KernelStats::exposed_stall_cycles — the cycles nothing could
+// cover, which estimate_time turns into the additive t_stall term. With a
+// single resident warp (or no spec) the accounting is off and the counter
+// stays 0, preserving serial-mode byte-identity.
+//
 // Determinism: the schedule is a pure function of the policy and of the
-// counter stream the warps produce, so for a fixed SPADEN_SIM_THREADS (and
-// the default slice L2) counters, profiles and numerics are byte-identical
-// run-to-run. Under the shared L2 the gto stall signal depends on
-// cross-thread cache state, so the schedule — and with it the counters —
-// may wobble across runs while numerics stay exact (warps only communicate
+// counter stream the warps produce, so with the per-SM slice L2
+// (SPADEN_SIM_SHARED_L2=0) counters, profiles and numerics are
+// byte-identical run-to-run at any fixed SPADEN_SIM_THREADS, and the
+// engine default (shared L2) is byte-identical at T=1. Under the shared L2
+// at T>1 the stall signal depends on cross-thread cache state, so the
+// schedule — and with it the cache/stall counters — may wobble across runs
+// while numerics and work counters stay exact (warps only communicate
 // through atomics; see docs/performance_model.md).
 //
 // Profiler/sanitizer composition: on every switch the scheduler parks the
@@ -23,7 +39,9 @@
 // attribution) and restores the incoming warp's, so ranges survive
 // suspension and event streams stay correctly attributed. Yield points sit
 // *after* an operation's charging and recording — a warp instruction is
-// atomic with respect to switches.
+// atomic with respect to switches. Exposed-stall cycles are charged after
+// the incoming warp's ranges are reopened, so they land inside the range the
+// warp suspended in and range attribution stays exact across switches.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +49,7 @@
 #include <memory>
 #include <vector>
 
+#include "gpusim/device_spec.hpp"
 #include "gpusim/profiler.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "gpusim/sched/fiber.hpp"
@@ -48,15 +67,19 @@ using KernelBody = void (*)(void* kernel, WarpCtx& ctx, std::uint64_t warp);
 class WarpScheduler {
  public:
   /// `window` is the resident-warp count per SM (see resident_window()).
-  WarpScheduler(SchedPolicy policy, int window);
+  /// `spec` enables the latency model (nullptr: pure interleaving, no stall
+  /// accounting); pass the spec whose issue constants match the policy —
+  /// Device uses timing_spec().
+  WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec = nullptr);
 
-  /// Run warps [lo, hi) of `body` interleaved over the resident window.
-  /// Registers itself as ctx's yield sink for the duration of the call and
-  /// drives ctx's attached sanitizer/profiler shards through warp
-  /// begin/suspend/resume/end. Rethrows the first kernel exception after
-  /// abandoning the remaining fibers.
-  void run(WarpCtx& ctx, std::uint64_t lo, std::uint64_t hi, void* kernel,
-           KernelBody body);
+  /// Run warps {start + i*stride : i in [0, count)} of `body` interleaved
+  /// over the resident window (stride 1 = one contiguous SM range; stride T
+  /// = round-robin striping). Registers itself as ctx's yield sink for the
+  /// duration of the call and drives ctx's attached sanitizer/profiler
+  /// shards through warp begin/suspend/resume/end. Rethrows the first
+  /// kernel exception after abandoning the remaining fibers.
+  void run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride, std::uint64_t count,
+           void* kernel, KernelBody body);
 
   /// Yield point, invoked by WarpCtx from inside the executing warp's fiber
   /// at the end of every memory operation.
@@ -67,6 +90,7 @@ class WarpScheduler {
     WarpScheduler* owner = nullptr;
     Fiber fiber;
     std::uint64_t warp = 0;
+    double ready_at = 0;   ///< virtual-clock cycle the pending memory op completes
     bool live = false;
     bool fresh = true;     ///< shards not yet told about this warp
     bool stalled = false;  ///< gto: the last residency ended on an L2 miss
@@ -77,23 +101,38 @@ class WarpScheduler {
   static void fiber_entry(void* raw);
 
   void arm(Slot& slot, std::uint64_t warp);
-  /// Next slot to resume, per policy. Pre: live_count_ > 0.
+  /// Next slot to resume, per policy. Advances the virtual clock past a
+  /// stall (accumulating pending_stall_) when no live warp is ready.
+  /// Pre: live_count_ > 0.
   [[nodiscard]] std::size_t pick();
+  /// Cycles the issuing pipes need for one residency interval's charges.
+  [[nodiscard]] double issue_cycles(const KernelStats& delta) const;
+  /// Load-to-use latency of the memory level that served the interval's
+  /// last (suspending) memory instruction.
+  [[nodiscard]] double completion_latency(const KernelStats& delta) const;
 
   SchedPolicy policy_;
   int window_;
+  const DeviceSpec* spec_ = nullptr;
   WarpCtx* ctx_ = nullptr;
   void* kernel_ = nullptr;
   KernelBody body_ = nullptr;
-  const KernelStats* stats_ = nullptr;
+  KernelStats* stats_ = nullptr;
   SanShard* san_ = nullptr;
   ProfShard* prof_ = nullptr;
-  std::uint64_t next_warp_ = 0;
-  std::uint64_t hi_ = 0;
+  std::uint64_t start_ = 0;
+  std::uint64_t stride_ = 1;
+  std::uint64_t next_idx_ = 0;  ///< next unlaunched warp index in [0, count_)
+  std::uint64_t count_ = 0;
   std::size_t live_count_ = 0;
   std::size_t current_ = 0;
-  std::size_t rr_next_ = 0;     ///< round-robin cursor
-  std::uint64_t dram_mark_ = 0; ///< stats_->dram_bytes when current_ resumed
+  std::size_t rr_next_ = 0;      ///< round-robin cursor
+  std::uint64_t dram_mark_ = 0;  ///< stats_->dram_bytes when current_ resumed
+  bool timing_ = false;          ///< latency model active this run
+  double now_ = 0;               ///< virtual SM clock, cycles since run() start
+  double pending_stall_ = 0;     ///< stall cycles awaiting charge (+ residue < 1)
+  double tc_flops_per_cycle_ = 0;
+  KernelStats interval_snap_{};  ///< stats when current_ was (re)started
   std::exception_ptr error_;
   std::vector<std::unique_ptr<Slot>> slots_;
 };

@@ -22,6 +22,7 @@ KernelStats& KernelStats::operator+=(const KernelStats& o) {
   atomic_lane_ops += o.atomic_lane_ops;
   shuffle_lane_ops += o.shuffle_lane_ops;
   warps_launched += o.warps_launched;
+  exposed_stall_cycles += o.exposed_stall_cycles;
   return *this;
 }
 
@@ -45,6 +46,7 @@ KernelStats& KernelStats::operator-=(const KernelStats& o) {
   sub(atomic_lane_ops, o.atomic_lane_ops);
   sub(shuffle_lane_ops, o.shuffle_lane_ops);
   sub(warps_launched, o.warps_launched);
+  sub(exposed_stall_cycles, o.exposed_stall_cycles);
   return *this;
 }
 
@@ -64,6 +66,11 @@ void KernelStats::to_json(JsonWriter& w) const {
   w.field("atomic_lane_ops", atomic_lane_ops);
   w.field("shuffle_lane_ops", shuffle_lane_ops);
   w.field("warps_launched", warps_launched);
+  // Conditional so serial-mode output stays byte-identical to pre-stall-model
+  // goldens: the counter can only be nonzero under an interleaving scheduler.
+  if (exposed_stall_cycles != 0) {
+    w.field("exposed_stall_cycles", exposed_stall_cycles);
+  }
   w.end_object();
 }
 
@@ -75,6 +82,9 @@ void TimeBreakdown::to_json(JsonWriter& w) const {
   w.field("t_cuda", t_cuda);
   w.field("t_tc", t_tc);
   w.field("t_launch", t_launch);
+  if (t_stall != 0) {
+    w.field("t_stall", t_stall);
+  }
   w.field("total", total);
   w.field("bound_by", bound_by());
   w.end_object();
@@ -97,6 +107,9 @@ std::string KernelStats::summary() const {
 
 const char* TimeBreakdown::bound_by() const {
   const double m = std::max({t_dram, t_l2, t_lsu, t_cuda, t_tc});
+  if (t_stall > m && t_stall > t_launch) {
+    return "stall";
+  }
   if (t_launch > m) {
     return "launch";
   }
@@ -116,6 +129,13 @@ const char* TimeBreakdown::bound_by() const {
 }
 
 std::string TimeBreakdown::summary() const {
+  if (t_stall != 0) {
+    return strfmt(
+        "total=%.3f us (dram=%.3f l2=%.3f lsu=%.3f cuda=%.3f tc=%.3f launch=%.3f "
+        "stall=%.3f) bound=%s",
+        total * 1e6, t_dram * 1e6, t_l2 * 1e6, t_lsu * 1e6, t_cuda * 1e6, t_tc * 1e6,
+        t_launch * 1e6, t_stall * 1e6, bound_by());
+  }
   return strfmt(
       "total=%.3f us (dram=%.3f l2=%.3f lsu=%.3f cuda=%.3f tc=%.3f launch=%.3f) bound=%s",
       total * 1e6, t_dram * 1e6, t_l2 * 1e6, t_lsu * 1e6, t_cuda * 1e6, t_tc * 1e6,

@@ -73,6 +73,12 @@ struct KernelStats {
   // --- launch shape ---
   std::uint64_t warps_launched = 0;
 
+  // --- scheduler-observed latency ---
+  std::uint64_t exposed_stall_cycles = 0;  ///< SM cycles where every resident
+                                           ///< warp was suspended on a memory
+                                           ///< op and nothing could issue
+                                           ///< (gpusim/sched; 0 under serial)
+
   KernelStats& operator+=(const KernelStats& o);
   /// Counter-wise difference (spaden-prof range attribution: counters at
   /// range exit minus counters at range entry). Requires o <= *this
@@ -108,10 +114,12 @@ struct TimeBreakdown {
   double t_cuda = 0;    ///< CUDA-core throughput term
   double t_tc = 0;      ///< tensor-core throughput term
   double t_launch = 0;  ///< fixed kernel-launch overhead
-  double total = 0;     ///< t_launch + max(other terms)
+  double t_stall = 0;   ///< exposed-stall correction (latency nothing covered;
+                        ///< additive on top of the binding roofline term)
+  double total = 0;     ///< t_launch + max(throughput terms) + t_stall
 
   /// Name of the binding resource ("dram", "l2", "lsu", "cuda", "tc",
-  /// "launch").
+  /// "stall", "launch").
   [[nodiscard]] const char* bound_by() const;
   [[nodiscard]] std::string summary() const;
 

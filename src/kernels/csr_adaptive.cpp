@@ -54,6 +54,16 @@ class CsrAdaptiveKernel final : public SpmvKernel {
     block_row.push_back(a.nrows);
     block_nnz_begin.push_back(a.row_ptr[a.nrows]);
     num_blocks_ = block_row.size() - 1;
+    // One warp per row block: balance on the block's nonzero span. Blocks
+    // are already nnz-capped, but trailing short blocks and empty-row runs
+    // still skew an equal-count split; the weights make it exact. (The zero
+    // pass launches a different warp count and falls back to equal-count.)
+    std::vector<std::uint64_t> weights(num_blocks_);
+    for (std::size_t w = 0; w < num_blocks_; ++w) {
+      weights[w] = static_cast<std::uint64_t>(block_nnz_begin[w + 1]) -
+                   static_cast<std::uint64_t>(block_nnz_begin[w]);
+    }
+    device.set_warp_weights(std::move(weights));
     block_row_ = device.memory().upload(std::move(block_row), "adaptive.block_row");
     block_nnz_begin_ = device.memory().upload(std::move(block_nnz_begin), "adaptive.block_nnz_begin");
   }
@@ -145,7 +155,7 @@ class CsrAdaptiveKernel final : public SpmvKernel {
     });
     result.stats += pass.stats;
     result.sanitizer.merge(pass.sanitizer);
-    result.time = sim::estimate_time(device.spec(), result.stats);
+    result.time = sim::estimate_time(device.timing_spec(), result.stats);
     result.kernel_name = "csr_adaptive_spmv";
     return result;
   }

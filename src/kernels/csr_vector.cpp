@@ -39,6 +39,24 @@ class CsrVectorKernel final : public SpmvKernel {
     // Partition workspace: one descriptor per 256-row slice (merge-path
     // style load balancing state).
     workspace_ = device.memory().alloc<std::uint32_t>(a.nrows / 256 + 64, "csr.workspace");
+    // One warp covers rows_per_warp consecutive rows: balance on their
+    // combined nonzero count so long rows don't pile onto one virtual SM.
+    const auto rows_per_warp =
+        static_cast<std::uint64_t>(sim::kWarpSize / vector_width_);
+    const auto warps =
+        (static_cast<std::uint64_t>(a.nrows) + rows_per_warp - 1) / rows_per_warp;
+    std::vector<std::uint64_t> weights(warps);
+    for (std::uint64_t w = 0; w < warps; ++w) {
+      std::uint64_t sum = 0;
+      const auto lo = static_cast<mat::Index>(w * rows_per_warp);
+      const auto hi = static_cast<mat::Index>(
+          std::min<std::uint64_t>((w + 1) * rows_per_warp, a.nrows));
+      for (mat::Index r = lo; r < hi; ++r) {
+        sum += static_cast<std::uint64_t>(a.row_nnz(r));
+      }
+      weights[w] = sum;
+    }
+    device.set_warp_weights(std::move(weights));
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,

@@ -18,6 +18,22 @@ class CsrWarp16Kernel final : public SpmvKernel {
 
   void do_prepare(sim::Device& device, const mat::Csr& a) override {
     csr_ = DeviceCsr::upload(device.memory(), a);
+    // One warp per 16 consecutive rows (Spaden's granularity): balance on
+    // their combined nonzero count.
+    constexpr std::uint64_t kRowsPerWarp = 16;
+    const auto warps =
+        (static_cast<std::uint64_t>(a.nrows) + kRowsPerWarp - 1) / kRowsPerWarp;
+    std::vector<std::uint64_t> weights(warps);
+    for (std::uint64_t w = 0; w < warps; ++w) {
+      const auto hi = static_cast<mat::Index>(
+          std::min<std::uint64_t>((w + 1) * kRowsPerWarp, a.nrows));
+      std::uint64_t sum = 0;
+      for (auto r = static_cast<mat::Index>(w * kRowsPerWarp); r < hi; ++r) {
+        sum += static_cast<std::uint64_t>(a.row_nnz(r));
+      }
+      weights[w] = sum;
+    }
+    device.set_warp_weights(std::move(weights));
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,

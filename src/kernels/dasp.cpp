@@ -109,6 +109,16 @@ class DaspKernel final : public SpmvKernel {
     }
 
     num_groups_ = groups;
+    // One warp per group in the dominant dasp_tc pass: balance on the
+    // group's tile-chunk count (its MMA/load iteration count). The zero and
+    // short-row passes launch different warp counts and fall back to the
+    // equal-count partition.
+    std::vector<std::uint64_t> weights(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      weights[g] = static_cast<std::uint64_t>(group_ptr[g + 1]) -
+                   static_cast<std::uint64_t>(group_ptr[g]);
+    }
+    device.set_warp_weights(std::move(weights));
     auto& mem = device.memory();
     group_ptr_ = mem.upload(std::move(group_ptr), "dasp.group_ptr");
     group_rows_ = mem.upload(std::move(group_rows), "dasp.group_rows");
@@ -241,7 +251,7 @@ class DaspKernel final : public SpmvKernel {
       result.sanitizer.merge(short_pass.sanitizer);
     }
 
-    result.time = sim::estimate_time(device.spec(), result.stats);
+    result.time = sim::estimate_time(device.timing_spec(), result.stats);
     result.kernel_name = "dasp_spmv";
     return result;
   }

@@ -7,6 +7,16 @@
 // which the warp cannot prefetch its next rows — is charged explicitly.
 // LightSpMV predates the vectorized-load paths of modern cuSPARSE, so rows
 // are always processed with full 32-lane vectors (its warp-level kernel).
+//
+// Determinism: one global counter claimed from every virtual SM makes the
+// row->warp assignment depend on the host-thread schedule, which used to
+// exclude LightSpMV from the fig6 golden comparisons at T>1. The counter is
+// therefore chunked per virtual SM: warps claim rows from their own SM's
+// contiguous row range through their own counter (the mapping mirrors the
+// launcher's equal-count warp partition), so each counter is only ever
+// touched by one host thread and runs are byte-identical at any fixed
+// SPADEN_SIM_THREADS. At T=1 this is a single counter over all rows —
+// bit-for-bit the original kernel.
 #include "kernels/formats_device.hpp"
 #include "kernels/internal.hpp"
 
@@ -24,7 +34,15 @@ class LightSpmvKernel final : public SpmvKernel {
 
   void do_prepare(sim::Device& device, const mat::Csr& a) override {
     csr_ = DeviceCsr::upload(device.memory(), a);
-    row_counter_ = device.memory().alloc<std::uint32_t>(1, "lightspmv.row_counter");
+    // One row counter per virtual SM (see header comment). Dynamic
+    // distribution has no static per-warp work estimate, so no balancing
+    // weights — and any stale weights from a previous kernel on this device
+    // must not skew the warp partition away from the equal-count mapping
+    // the per-group counters assume.
+    groups_ = device.sim_threads();
+    device.set_warp_weights({});
+    row_counter_ = device.memory().alloc<std::uint32_t>(
+        static_cast<std::size_t>(groups_), "lightspmv.row_counter");
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
@@ -35,18 +53,35 @@ class LightSpmvKernel final : public SpmvKernel {
     const auto val = csr_.val.cspan();
     const mat::Index nrows = nrows_;
     auto counter = row_counter_.span();
-    counter[0] = 0;
 
     // Persistent kernel: a fixed grid of warps loops over dynamic batches.
     const std::uint64_t grid_warps =
         std::min<std::uint64_t>(nrows, static_cast<std::uint64_t>(device.spec().sm_count) *
                                            static_cast<std::uint64_t>(16));
-    return device.launch("lightspmv", grid_warps, [&](sim::WarpCtx& ctx, std::uint64_t) {
+    // Group geometry mirroring the launcher's equal-count contiguous warp
+    // partition; if the thread count changed since prepare, fall back to one
+    // group (correct, just not schedule-deterministic at T>1).
+    const auto groups =
+        device.sim_threads() == groups_ ? static_cast<std::uint64_t>(groups_) : 1;
+    const std::uint64_t chunk = (grid_warps + groups - 1) / groups;
+    for (std::uint64_t g = 0; g < groups; ++g) {
+      counter[g] = 0;
+    }
+    const auto group_row = [&](std::uint64_t g) -> std::uint32_t {
+      const std::uint64_t warp_bound = std::min(g * chunk, grid_warps);
+      return static_cast<std::uint32_t>(static_cast<std::uint64_t>(nrows) * warp_bound /
+                                        grid_warps);
+    };
+    return device.launch("lightspmv", grid_warps, [&](sim::WarpCtx& ctx, std::uint64_t w) {
+      const std::uint64_t g = std::min(w / chunk, groups - 1);
+      const std::uint32_t row_lo = group_row(g);
+      const std::uint32_t row_hi = group_row(g + 1);
       while (true) {
-        // Warp-level dynamic distribution: claim one row per warp iteration.
-        const std::uint32_t row = ctx.atomic_fetch_add(counter, 0, 1);
+        // Warp-level dynamic distribution: claim one row per warp iteration
+        // from this SM's chunk of the row space.
+        const std::uint32_t row = row_lo + ctx.atomic_fetch_add(counter, g, 1);
         ctx.charge(sim::OpClass::IntAlu, kDynamicFetchStall);
-        if (row >= nrows) {
+        if (row >= row_hi) {
           return;
         }
         const auto begin = ctx.scalar_load(row_ptr, row);
@@ -88,6 +123,7 @@ class LightSpmvKernel final : public SpmvKernel {
  private:
   DeviceCsr csr_;
   sim::Buffer<std::uint32_t> row_counter_;
+  int groups_ = 1;
 };
 
 }  // namespace

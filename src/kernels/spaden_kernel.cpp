@@ -53,6 +53,27 @@ class SpadenKernel final : public SpmvKernel {
 
   void do_prepare(sim::Device& device, const mat::Csr& a) override {
     const mat::BitBsr bb = mat::BitBsr::from_csr(a);
+    // Per-warp balancing weights from the block-row bitmap popcounts
+    // (val_offset is their exclusive scan): a warp's decode/MMA work scales
+    // with the nonzeros of the block-row(s) it owns, so the NnzBalanced
+    // partition equalizes real work per virtual SM on power-law matrices.
+    const bool paired = variant_ != SpadenVariant::Unpaired;
+    const auto brow_nnz = [&](mat::Index r) -> std::uint64_t {
+      return bb.val_offset[static_cast<std::size_t>(bb.block_row_ptr[r + 1])] -
+             bb.val_offset[static_cast<std::size_t>(bb.block_row_ptr[r])];
+    };
+    const std::uint64_t warps =
+        paired ? (static_cast<std::uint64_t>(bb.brows) + 1) / 2
+               : static_cast<std::uint64_t>(bb.brows);
+    std::vector<std::uint64_t> weights(warps);
+    for (std::uint64_t w = 0; w < warps; ++w) {
+      const auto r1 = static_cast<mat::Index>(paired ? 2 * w : w);
+      weights[w] = brow_nnz(r1);
+      if (paired && r1 + 1 < bb.brows) {
+        weights[w] += brow_nnz(r1 + 1);
+      }
+    }
+    device.set_warp_weights(std::move(weights));
     bitbsr_ = DeviceBitBsr::upload(device.memory(), bb);
   }
 

@@ -46,6 +46,15 @@ class SpadenWideKernel final : public SpmvKernel {
     dev_.bitmap = mem.upload(std::move(flat), "wide.bitmap");
     dev_.val_offset = mem.upload(bb.val_offset, "wide.val_offset");
     dev_.values = mem.upload(bb.values, "wide.values");
+    // One warp per block-row: balance on the block-row's nonzero count
+    // (bitmap popcounts, via the val_offset exclusive scan).
+    std::vector<std::uint64_t> weights(static_cast<std::size_t>(bb.brows));
+    for (mat::Index r = 0; r < bb.brows; ++r) {
+      weights[static_cast<std::size_t>(r)] =
+          bb.val_offset[static_cast<std::size_t>(bb.block_row_ptr[r + 1])] -
+          bb.val_offset[static_cast<std::size_t>(bb.block_row_ptr[r])];
+    }
+    device.set_warp_weights(std::move(weights));
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,

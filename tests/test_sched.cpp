@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "core/spaden.hpp"
 #include "gpusim/cache.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/shared_l2.hpp"
@@ -446,6 +447,217 @@ TEST(Sched, NnzBalancedPartitionEqualizesWeight) {
   // Weights that do not match the launch shape fall back to equal counts.
   EXPECT_EQ(sm_warps(WarpPartition::NnzBalanced, {1, 2, 3}),
             (std::vector<std::uint64_t>{4, 4, 4, 4}));
+}
+
+TEST(Sched, RoundRobinStripeDealsWarpsLikeCards) {
+  // 18 warps dealt to 4 virtual SMs: SM t runs warps w with w % 4 == t, so
+  // the per-SM counts are {5, 5, 4, 4} — no weights needed.
+  Device device = make_device(kSerial, 4);
+  device.set_profile(true);
+  device.set_partition(WarpPartition::RoundRobinStripe);
+  run_reuse(device, 18, 64, 1);
+  std::vector<std::uint64_t> warps;
+  for (const SmProfile& sm : device.profile_log()[0].sms) {
+    warps.push_back(sm.warps);
+  }
+  EXPECT_EQ(warps, (std::vector<std::uint64_t>{5, 5, 4, 4}));
+}
+
+TEST(Sched, KernelsDeriveNnzWarpWeights) {
+  // The engine-policy promotion: kernels with a static warp->row mapping
+  // install per-warp nnz weights in prepare, so the default NnzBalanced
+  // partition has real work estimates to cut by. The weights must cover
+  // every stored value exactly once.
+  const mat::Csr a = mat::load_dataset("rma10", 0.02);
+  auto weights_after_prepare = [&](kern::Method m) {
+    Device device = make_device(kSerial);
+    auto kernel = kern::make_kernel(m);
+    kernel->prepare(device, a);
+    return device.warp_weights();
+  };
+  for (const kern::Method m :
+       {kern::Method::Spaden, kern::Method::SpadenWide, kern::Method::CusparseCsr,
+        kern::Method::CsrWarp16, kern::Method::CsrAdaptive}) {
+    const std::vector<std::uint64_t> w = weights_after_prepare(m);
+    ASSERT_FALSE(w.empty()) << kern::method_name(m);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : w) {
+      sum += v;
+    }
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(a.nnz())) << kern::method_name(m);
+  }
+  // DASP weights count tile chunks per group (not nnz), and LightSpMV's
+  // dynamic row dispatch has no static mapping to weigh at all.
+  EXPECT_FALSE(weights_after_prepare(kern::Method::Dasp).empty());
+  EXPECT_TRUE(weights_after_prepare(kern::Method::LightSpmv).empty());
+}
+
+TEST(Sched, PartitionChoiceNeverChangesNumerics) {
+  // The split must only move warp boundaries between virtual SMs, never
+  // results — for every kernel that installs weights and writes its own
+  // rows (float-atomic kernels are order-dependent by design).
+  const mat::Csr a = mat::load_dataset("rma10", 0.01);
+  auto y_with = [&](kern::Method m, WarpPartition partition) {
+    Device device = make_device(kSerial, 4);
+    device.set_partition(partition);
+    auto kernel = kern::make_kernel(m);
+    kernel->prepare(device, a);
+    std::vector<float> x(a.ncols);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = 0.7f - 0.004f * static_cast<float>(i % 331);
+    }
+    auto xb = device.memory().upload(x);
+    auto y = device.memory().alloc<float>(a.nrows);
+    (void)kernel->run(device, xb.cspan(), y.span());
+    return y.host();
+  };
+  for (const kern::Method m : {kern::Method::Spaden, kern::Method::SpadenWide,
+                               kern::Method::CusparseCsr, kern::Method::CsrWarp16}) {
+    const std::vector<float> base = y_with(m, WarpPartition::Contiguous);
+    EXPECT_EQ(base, y_with(m, WarpPartition::NnzBalanced)) << kern::method_name(m);
+    EXPECT_EQ(base, y_with(m, WarpPartition::RoundRobinStripe)) << kern::method_name(m);
+  }
+}
+
+// ----- latency model: exposed stalls ------------------------------------------
+
+/// One disjoint cold cache line per warp, nothing else: every completion
+/// latency is a DRAM miss and every issue interval is a handful of cycles,
+/// so the exposed-stall total is known in closed form.
+KernelStats run_one_line_per_warp(Device& device, std::uint64_t warps) {
+  auto src = device.memory().upload(std::vector<float>(warps * kWarpSize, 1.0f), "stall.src");
+  return device
+      .launch("stall",
+              warps,
+              [&](WarpCtx& ctx, std::uint64_t w) {
+                Lanes<std::uint32_t> idx;
+                for (int lane = 0; lane < kWarpSize; ++lane) {
+                  idx[static_cast<std::size_t>(lane)] = static_cast<std::uint32_t>(
+                      w * kWarpSize + static_cast<std::uint64_t>(lane));
+                }
+                (void)ctx.gather(src.cspan(), idx);
+              })
+      .stats;
+}
+
+TEST(Stall, HandScheduleExposesOneDramLatency) {
+  // Two warps, two-warp window: warp 0's DRAM miss is covered only by the
+  // few cycles it takes to issue warp 1's load (cost c), leaving L - c
+  // exposed; warp 1's own tail then exposes the remaining ~c once warp 0
+  // drains. The issue cost cancels: total exposed ~= one effective dram
+  // latency (the raw cycles over the per-warp memory-parallelism credit).
+  Device serial = make_device(kSerial);
+  EXPECT_EQ(run_one_line_per_warp(serial, 2).exposed_stall_cycles, 0u);
+
+  Device rr = make_device({SchedPolicy::RoundRobin, 2});
+  const DeviceSpec spec = l40();
+  const auto latency = static_cast<std::uint64_t>(
+      static_cast<double>(spec.dram_latency_cycles) / spec.mem_parallelism_ilv);
+  const std::uint64_t exposed = run_one_line_per_warp(rr, 2).exposed_stall_cycles;
+  EXPECT_GE(exposed, latency - 64);
+  EXPECT_LE(exposed, latency);
+}
+
+TEST(Stall, EstimateTimeAddsStallTerm) {
+  const DeviceSpec spec = l40();
+  KernelStats stats;
+  stats.warps_launched = 4;
+  stats.wavefronts = 1000;
+  const TimeBreakdown base = estimate_time(spec, stats);
+  EXPECT_EQ(base.t_stall, 0.0);
+
+  // Stall cycles spread over min(warps, sm_count) SMs — a 4-warp launch
+  // keeps 4 virtual SMs busy, so that is the divisor, not the full device.
+  stats.exposed_stall_cycles = 5'000'000;
+  const TimeBreakdown stalled = estimate_time(spec, stats);
+  const double expected = 5e6 / (4.0 * spec.clock_ghz * 1e9);
+  EXPECT_DOUBLE_EQ(stalled.t_stall, expected);
+  EXPECT_DOUBLE_EQ(stalled.total, base.total + expected);
+  EXPECT_STREQ(stalled.bound_by(), "stall");
+
+  // Component view: passing the parent's stall_sms keeps t_stall additive
+  // across subsets (half the cycles -> half the term).
+  KernelStats half = stats;
+  half.exposed_stall_cycles = stats.exposed_stall_cycles / 2;
+  const TimeBreakdown part = estimate_component_time(spec, half, 1.0, 4.0);
+  EXPECT_DOUBLE_EQ(part.t_stall, expected / 2);
+}
+
+TEST(Stall, JsonKeysOnlyWhenStalled) {
+  // Serial runs never stall, and their JSON must not change shape across
+  // the default flip: exposed_stall_cycles / t_stall appear only when
+  // nonzero, keeping pre-existing serial goldens byte-identical.
+  auto profile_json = [](SchedConfig sched) {
+    Device device = make_device(sched);
+    device.set_profile(true);
+    run_one_line_per_warp(device, 2);
+    return report_json(device.profile_log()[0], /*include_sms=*/true);
+  };
+  const std::string serial = profile_json(kSerial);
+  EXPECT_EQ(serial.find("exposed_stall_cycles"), std::string::npos);
+  EXPECT_EQ(serial.find("t_stall"), std::string::npos);
+  const std::string rr = profile_json({SchedPolicy::RoundRobin, 2});
+  EXPECT_NE(rr.find("exposed_stall_cycles"), std::string::npos);
+  EXPECT_NE(rr.find("t_stall"), std::string::npos);
+}
+
+// ----- engine defaults: rr + shared L2, serial stays recoverable --------------
+
+TEST(Sched, EngineDefaultEnvFlip) {
+  const char* saved_sched = std::getenv("SPADEN_SIM_SCHED");
+  const std::string saved_sched_value = saved_sched != nullptr ? saved_sched : "";
+  const char* saved_l2 = std::getenv("SPADEN_SIM_SHARED_L2");
+  const std::string saved_l2_value = saved_l2 != nullptr ? saved_l2 : "";
+
+  // Engine default: rr with an occupancy-derived window, shared L2.
+  ::unsetenv("SPADEN_SIM_SCHED");
+  ::unsetenv("SPADEN_SIM_SHARED_L2");
+  EXPECT_EQ(default_engine_sched(), (SchedConfig{SchedPolicy::RoundRobin, 0}));
+  EXPECT_TRUE(default_engine_shared_l2());
+  // SPADEN_SIM_SCHED=serial recovers the classic anchor, and pulls the L2
+  // default back to per-SM slices with it for bit-for-bit reproducibility.
+  ::setenv("SPADEN_SIM_SCHED", "serial", 1);
+  EXPECT_EQ(default_engine_sched(), kSerial);
+  EXPECT_FALSE(default_engine_shared_l2());
+  // The L2 env var always wins, in both directions.
+  ::setenv("SPADEN_SIM_SHARED_L2", "1", 1);
+  EXPECT_TRUE(default_engine_shared_l2());
+  ::unsetenv("SPADEN_SIM_SCHED");
+  ::setenv("SPADEN_SIM_SHARED_L2", "0", 1);
+  EXPECT_FALSE(default_engine_shared_l2());
+
+  if (saved_sched != nullptr) {
+    ::setenv("SPADEN_SIM_SCHED", saved_sched_value.c_str(), 1);
+  } else {
+    ::unsetenv("SPADEN_SIM_SCHED");
+  }
+  if (saved_l2 != nullptr) {
+    ::setenv("SPADEN_SIM_SHARED_L2", saved_l2_value.c_str(), 1);
+  } else {
+    ::unsetenv("SPADEN_SIM_SHARED_L2");
+  }
+}
+
+TEST(Sched, ExplicitSerialEngineMatchesClassicDevice) {
+  // An engine pinned to serial + slice L2 reproduces the raw classic
+  // launcher bit for bit — the regression anchor survives the default flip.
+  const mat::Csr a = mat::load_dataset("rma10", 0.01);
+  EngineOptions options;
+  options.method = kern::Method::Spaden;
+  options.sim_threads = 1;
+  options.sched = kSerial;
+  options.shared_l2 = false;
+  options.verify_first_run = false;
+  SpmvEngine engine(a, options);
+  std::vector<float> x(a.ncols);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.7f - 0.004f * static_cast<float>(i % 331);
+  }
+  std::vector<float> y;
+  const SpmvResult result = engine.multiply(x, y);
+  EXPECT_EQ(y, run_y(kern::Method::Spaden, a, kSerial));
+  EXPECT_EQ(result.time.t_stall, 0.0);
+  EXPECT_EQ(result.stats.exposed_stall_cycles, 0u);
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two spaden-bench-v1 JSON exports and fail on GFLOPS regressions.
+"""Compare spaden-bench-v1 JSON exports and fail on GFLOPS regressions.
 
 CI uses this to diff every run's BENCH_*.json against the previous run's
 artifact, so a change that silently degrades a kernel's *modeled* GFLOPS
@@ -8,18 +8,28 @@ build instead of drifting until someone re-reads the figures.
 
     perf_diff.py BASELINE CURRENT [--tolerance 0.02] [--skip-method NAME]...
 
-Runs are matched by (method, device, matrix). A current run whose gflops is
-more than `tolerance` below the baseline's is a regression; improvements
-and new/removed runs are reported but never fail. Methods whose results are
-inherently nondeterministic across host-thread schedules (LightSpMV's
-atomic row counter at SPADEN_SIM_THREADS > 1) can be skipped; pin
-SPADEN_SIM_THREADS=1 in the generating job to make every method exact.
+BASELINE and CURRENT are either two spaden-bench-v1 files, or two
+directories: in directory mode every BENCH_*.json in CURRENT is matched to
+the baseline file of the same name and diffed figure by figure (figures
+without runs, e.g. metric-only exports like sched_partition, compare their
+named metrics instead). A figure present on one side only is reported but
+never fails the diff — new benches need one run to seed their baseline.
+
+Within a figure, runs are matched by (method, device, matrix). A current
+run whose gflops is more than `tolerance` below the baseline's is a
+regression; improvements and new/removed runs are reported but never fail.
+Methods whose results are inherently nondeterministic across host-thread
+schedules can be skipped with --skip-method; pin SPADEN_SIM_THREADS=1 in
+the generating job to make every method exact (since the chunked-claim
+LightSpMV rework, every method is deterministic at any fixed thread
+count).
 
 Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage/IO error.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -33,6 +43,56 @@ def load_runs(path):
 
 def key_of(run):
     return (run["method"], run["device"], run["matrix"])
+
+
+def diff_documents(name, base_doc, curr_doc, tolerance, skip_methods):
+    """Diff one figure. Returns (compared, regressions) counts."""
+    if base_doc.get("scale") != curr_doc.get("scale"):
+        print(
+            f"note: {name}: scales differ ({base_doc.get('scale')} vs "
+            f"{curr_doc.get('scale')}); gflops are not comparable",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    base = {key_of(r): r for r in base_doc.get("runs", []) if r["method"] not in skip_methods}
+    curr = {key_of(r): r for r in curr_doc.get("runs", []) if r["method"] not in skip_methods}
+
+    regressions = []
+    improvements = []
+    for key in sorted(base.keys() & curr.keys()):
+        old = base[key]["gflops"]
+        new = curr[key]["gflops"]
+        if old <= 0:
+            continue
+        delta = new / old - 1.0
+        if delta < -tolerance:
+            regressions.append((key, old, new, delta))
+        elif delta > tolerance:
+            improvements.append((key, old, new, delta))
+
+    for key, old, new, delta in improvements:
+        print(f"{name}: improved  {'/'.join(key):<45} {old:8.1f} -> {new:8.1f} ({delta:+.1%})")
+    for key in sorted(curr.keys() - base.keys()):
+        print(f"{name}: new       {'/'.join(key)}")
+    for key in sorted(base.keys() - curr.keys()):
+        print(f"{name}: removed   {'/'.join(key)}")
+    for key, old, new, delta in regressions:
+        print(f"{name}: REGRESSED {'/'.join(key):<45} {old:8.1f} -> {new:8.1f} ({delta:+.1%})")
+
+    # Metric-only figures (no per-matrix runs) still carry comparable
+    # numbers — report their drift so e.g. an imbalance jump is visible.
+    if not base and not curr:
+        base_metrics = {m["name"]: m["value"] for m in base_doc.get("metrics", [])}
+        for m in curr_doc.get("metrics", []):
+            old = base_metrics.get(m["name"])
+            if old is None or old == 0:
+                continue
+            delta = m["value"] / old - 1.0
+            if abs(delta) > tolerance:
+                print(f"{name}: metric    {m['name']:<45} {old:8.3f} -> {m['value']:8.3f} ({delta:+.1%})")
+
+    return len(base.keys() & curr.keys()), len(regressions)
 
 
 def main():
@@ -54,47 +114,40 @@ def main():
     )
     args = parser.parse_args()
 
-    base_doc = load_runs(args.baseline)
-    curr_doc = load_runs(args.current)
-    if base_doc.get("scale") != curr_doc.get("scale"):
-        print(
-            f"note: scales differ ({base_doc.get('scale')} vs "
-            f"{curr_doc.get('scale')}); gflops are not comparable",
-            file=sys.stderr,
-        )
-        sys.exit(2)
+    pairs = []  # (figure name, baseline path, current path)
+    if os.path.isdir(args.baseline) != os.path.isdir(args.current):
+        sys.exit("error: baseline and current must both be files or both be directories")
+    if os.path.isdir(args.baseline):
+        base_files = {f for f in os.listdir(args.baseline)
+                      if f.startswith("BENCH_") and f.endswith(".json")}
+        curr_files = {f for f in os.listdir(args.current)
+                      if f.startswith("BENCH_") and f.endswith(".json")}
+        for f in sorted(base_files - curr_files):
+            print(f"note: {f}: present in baseline only, skipped", file=sys.stderr)
+        for f in sorted(curr_files - base_files):
+            print(f"note: {f}: no baseline yet, skipped", file=sys.stderr)
+        for f in sorted(base_files & curr_files):
+            pairs.append((f[len("BENCH_"):-len(".json")],
+                          os.path.join(args.baseline, f), os.path.join(args.current, f)))
+        if not pairs:
+            sys.exit("error: no common BENCH_*.json figures to compare")
+    else:
+        pairs.append(("bench", args.baseline, args.current))
 
-    base = {key_of(r): r for r in base_doc["runs"] if r["method"] not in args.skip_method}
-    curr = {key_of(r): r for r in curr_doc["runs"] if r["method"] not in args.skip_method}
+    total_compared = 0
+    total_regressions = 0
+    for name, base_path, curr_path in pairs:
+        compared, regressed = diff_documents(
+            name, load_runs(base_path), load_runs(curr_path), args.tolerance,
+            args.skip_method)
+        total_compared += compared
+        total_regressions += regressed
 
-    regressions = []
-    improvements = []
-    for key in sorted(base.keys() & curr.keys()):
-        old = base[key]["gflops"]
-        new = curr[key]["gflops"]
-        if old <= 0:
-            continue
-        delta = new / old - 1.0
-        if delta < -args.tolerance:
-            regressions.append((key, old, new, delta))
-        elif delta > args.tolerance:
-            improvements.append((key, old, new, delta))
-
-    for key, old, new, delta in improvements:
-        print(f"improved  {'/'.join(key):<45} {old:8.1f} -> {new:8.1f} ({delta:+.1%})")
-    for key in sorted(curr.keys() - base.keys()):
-        print(f"new       {'/'.join(key)}")
-    for key in sorted(base.keys() - curr.keys()):
-        print(f"removed   {'/'.join(key)}")
-    for key, old, new, delta in regressions:
-        print(f"REGRESSED {'/'.join(key):<45} {old:8.1f} -> {new:8.1f} ({delta:+.1%})")
-
-    compared = len(base.keys() & curr.keys())
     print(
-        f"{compared} runs compared, {len(regressions)} regressions, "
-        f"{len(improvements)} improvements (tolerance {args.tolerance:.1%})"
+        f"{len(pairs)} figures, {total_compared} runs compared, "
+        f"{total_regressions} regressions (tolerance {args.tolerance:.1%})"
     )
-    sys.exit(1 if regressions else 0)
+    sys.exit(1 if total_regressions else 0)
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 //
 //   spaden info <matrix>                 structure + format recommendation
 //   spaden spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]
-//               [--sched serial|rr|gto] [--shared-l2]
+//               [--sched serial|rr|gto] [--shared-l2|--no-shared-l2]
 //               [--sancheck] [--profile out.json] [--trace out.json]
 //   spaden convert <in.mtx> <out.mtx> [--reorder rcm|degree]
 //   spaden datasets                      list the Table 1 registry
@@ -11,6 +11,7 @@
 // <matrix> is either a path to a Matrix Market file or the name of a
 // Table 1 dataset (synthesized at --scale, default 0.25).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -33,8 +34,8 @@ struct Args {
   double scale = 0.25;
   int iters = 1;
   int threads = 0;  // 0 = SPADEN_SIM_THREADS / hardware default
-  std::string sched;     // --sched serial|rr|gto[:window]; "" = SPADEN_SIM_SCHED
-  bool shared_l2 = false;
+  std::string sched;  // --sched serial|rr|gto[:window]; "" = SPADEN_SIM_SCHED
+  int shared_l2 = -1;  // --shared-l2 / --no-shared-l2; -1 = engine default
   bool sancheck = false;
   std::string profile_out;  // --profile FILE: spaden-prof JSON report
   std::string trace_out;    // --trace FILE: chrome://tracing timeline
@@ -63,7 +64,9 @@ Args parse(int argc, char** argv) {
     } else if (a == "--sched") {
       args.sched = next("--sched");
     } else if (a == "--shared-l2") {
-      args.shared_l2 = true;
+      args.shared_l2 = 1;
+    } else if (a == "--no-shared-l2") {
+      args.shared_l2 = 0;
     } else if (a == "--sancheck") {
       args.sancheck = true;
     } else if (a == "--profile") {
@@ -136,7 +139,16 @@ int cmd_spmv(const Args& args) {
     }
     options.sched.policy = sim::sched_policy_by_name(policy);
   }
-  options.shared_l2 = options.shared_l2 || args.shared_l2;
+  if (args.shared_l2 >= 0) {
+    options.shared_l2 = args.shared_l2 != 0;
+  } else if (const char* l2_env = std::getenv("SPADEN_SIM_SHARED_L2");
+             (l2_env == nullptr || l2_env[0] == '\0') &&
+             options.sched.policy == sim::SchedPolicy::Serial) {
+    // Pair an explicitly serial CLI policy with the pre-recalibration slice
+    // L2, mirroring default_engine_shared_l2(): --sched serial stays
+    // bit-for-bit reproducible against historical outputs.
+    options.shared_l2 = false;
+  }
   options.sanitize = options.sanitize || args.sancheck;
   options.profile = options.profile || !args.profile_out.empty() || !args.trace_out.empty();
   if (!args.method.empty()) {
@@ -243,7 +255,10 @@ int main(int argc, char** argv) {
           "  info <matrix>                     structure + format recommendation\n"
           "  spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]\n"
           "                [--sched P]       warp scheduling: serial|rr|gto[:window]\n"
-          "                [--shared-l2]     shared set-sharded L2 (vs per-SM slices)\n"
+          "                                  (default rr; serial = pre-recalibration mode)\n"
+          "                [--shared-l2|--no-shared-l2]\n"
+          "                                  shared set-sharded L2 vs per-SM slices\n"
+          "                                  (default shared; serial pairs with slices)\n"
           "                [--sancheck]      run under spaden-sancheck (exit 3 on findings)\n"
           "                [--profile F.json] write the spaden-prof report (and print it)\n"
           "                [--trace F.json]   write a chrome://tracing timeline\n"
