@@ -20,7 +20,9 @@
 namespace spaden::bench {
 
 /// Bench-export schema identifier, bumped on breaking layout changes.
-inline constexpr const char* kBenchSchema = "spaden-bench-v1";
+/// v2 adds per-run host-side throughput (host_warps_per_sec, sim_threads)
+/// next to host_seconds — purely additive, so v1 readers keep working.
+inline constexpr const char* kBenchSchema = "spaden-bench-v2";
 
 /// Structured results collector: every figure bench funnels its MethodRuns
 /// (and derived scalar metrics like geomean speedups) through one of these
@@ -64,6 +66,12 @@ class BenchJson {
       w.field("gflops", run.gflops);
       w.field("modeled_seconds", run.modeled_seconds);
       w.field("host_seconds", run.host_seconds);
+      // Host-side simulator throughput for the timed run (NOT a modeled
+      // quantity). warps_launched aggregates every launch a multi-pass
+      // kernel issues (gunrock/csr_adaptive/dasp merge pass stats), so the
+      // rate is meaningful for those too.
+      w.field("host_warps_per_sec", run.host_warps_per_sec);
+      w.field("sim_threads", run.sim_threads);
       w.field("prep_seconds", run.prep_seconds);
       w.field("prep_ns_per_nnz", run.prep_ns_per_nnz);
       w.field("footprint_bytes", static_cast<std::uint64_t>(run.footprint_bytes));

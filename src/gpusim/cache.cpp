@@ -17,33 +17,6 @@ SectorCache::SectorCache(std::uint64_t capacity_bytes, int ways, std::uint32_t s
   stamps_.assign(tags_.size(), 0);
 }
 
-bool SectorCache::access(std::uint64_t sector_addr) {
-  const std::uint64_t line = sector_addr / sector_bytes_;
-  const std::uint64_t set = line & set_mask_;
-  const std::uint64_t base = set * static_cast<std::uint64_t>(ways_);
-  ++clock_;
-
-  int victim = 0;
-  std::uint64_t victim_stamp = ~std::uint64_t{0};
-  for (int w = 0; w < ways_; ++w) {
-    const std::uint64_t idx = base + static_cast<std::uint64_t>(w);
-    if (tags_[idx] == line) {
-      stamps_[idx] = clock_;
-      ++hits_;
-      return true;
-    }
-    if (stamps_[idx] < victim_stamp) {
-      victim_stamp = stamps_[idx];
-      victim = w;
-    }
-  }
-  const std::uint64_t vidx = base + static_cast<std::uint64_t>(victim);
-  tags_[vidx] = line;
-  stamps_[vidx] = clock_;
-  ++misses_;
-  return false;
-}
-
 void SectorCache::flush() {
   tags_.assign(tags_.size(), kInvalidTag);
   stamps_.assign(stamps_.size(), 0);

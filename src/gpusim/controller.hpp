@@ -22,8 +22,9 @@ class MemoryController {
  public:
   static constexpr int kWarpSize = 32;
 
-  MemoryController(SectorCache* l1, SectorCache* l2, KernelStats* stats)
-      : l1_(l1), l2_(l2), stats_(stats) {}
+  /// Both caches must share one sector size (it defines the sector-id
+  /// space all classification below happens in).
+  MemoryController(SectorCache* l1, SectorCache* l2, KernelStats* stats);
 
   void set_stats(KernelStats* stats) { stats_ = stats; }
 
@@ -55,6 +56,8 @@ class MemoryController {
   SectorCache* l2_;
   SharedL2* shared_l2_ = nullptr;
   KernelStats* stats_;
+  std::uint32_t sector_bytes_;
+  std::uint32_t sector_shift_;
 };
 
 }  // namespace spaden::sim

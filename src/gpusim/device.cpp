@@ -53,8 +53,16 @@ bool default_engine_shared_l2() {
 
 SharedL2* Device::ensure_shared_l2() {
   if (shared_l2_ == nullptr) {
+    // Stripes only matter for lock disjointness, so build the cache flat
+    // (one stripe, one contiguous tag array — much friendlier to the host
+    // memory system) when this device simulates on a single thread.
+    // Classification is stripe-count-invariant; the count is decided once,
+    // at the first launch that needs the cache, so warmed state survives
+    // later launches. A device switched to T>1 after warming a flat cache
+    // stays correct — every thread then contends on the single stripe lock.
+    const std::uint64_t max_stripes = threads_ == 1 ? 1 : SharedL2::kMaxStripes;
     shared_l2_ = std::make_unique<SharedL2>(spec_.l2_capacity_bytes, spec_.l2_ways,
-                                            spec_.sector_bytes);
+                                            spec_.sector_bytes, max_stripes);
   }
   return shared_l2_.get();
 }

@@ -211,21 +211,44 @@ class Device {
     result.kernel_name = std::string(name);
     result.stats.warps_launched = num_warps;
     const std::size_t n = threads_ <= 1 ? 1 : static_cast<std::size_t>(threads_);
-    std::vector<SanShard> shards;
+    // Pooled per-launch scratch: shard vectors (and the fiber schedulers,
+    // via sched_pool_) live on the Device and are reset between launches, so
+    // iterating benchmarks stop paying the per-launch allocation traffic.
+    std::vector<SanShard>& shards = san_shards_;
     if (sanitize_) {
+      const std::size_t cap = std::max<std::size_t>(kSanMaxEvents / n, 1024);
+      while (shards.size() > n) {
+        shards.pop_back();
+      }
       shards.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        shards.emplace_back(std::max<std::size_t>(kSanMaxEvents / n, 1024));
+      for (auto& shard : shards) {
+        shard.reset(cap);
+      }
+      while (shards.size() < n) {
+        shards.emplace_back(cap);
       }
     }
-    std::vector<ProfShard> pshards;
+    std::vector<ProfShard>& pshards = prof_shards_;
     if (profile_) {
-      pshards.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        pshards.emplace_back(std::max<std::size_t>(kProfMaxEvents / n, 1024));
+      const std::size_t cap = std::max<std::size_t>(kProfMaxEvents / n, 1024);
+      while (pshards.size() > n) {
+        pshards.pop_back();
       }
+      pshards.reserve(n);
+      for (auto& pshard : pshards) {
+        pshard.reset(cap);
+      }
+      while (pshards.size() < n) {
+        pshards.emplace_back(cap);
+      }
+    }
+    if (sched_.policy != SchedPolicy::Serial && sched_pool_.size() != n) {
+      sched_pool_.resize(n);
     }
     SharedL2* shared = shared_l2_on_ ? ensure_shared_l2() : nullptr;
+    if (shared != nullptr) {
+      shared->set_concurrent(n > 1);  // T=1: stripe locking is pure overhead
+    }
     if (threads_ <= 1) {
       run_serial(num_warps, kernel, result.stats, sanitize_ ? &shards[0] : nullptr,
                  profile_ ? &pshards[0] : nullptr, shared);
@@ -289,10 +312,24 @@ class Device {
   /// rr/gto (which also models issue/latency cycles and charges exposed
   /// stalls). stride 1 is a contiguous range; stride T the round-robin
   /// stripe. `num_warps` is the full launch's warp count (window sizing).
+  /// Construct-or-reconfigure the pooled scheduler of virtual SM `sm`.
+  /// launch() sized sched_pool_ before the workers started, so concurrent
+  /// workers only ever touch their own element.
+  [[nodiscard]] WarpScheduler& pooled_scheduler(std::size_t sm, std::uint64_t num_warps) {
+    std::unique_ptr<WarpScheduler>& slot = sched_pool_[sm];
+    const int window = resident_window(spec_, sched_, num_warps);
+    if (slot == nullptr) {
+      slot = std::make_unique<WarpScheduler>(sched_.policy, window, &timing_spec());
+    } else {
+      slot->reconfigure(sched_.policy, window, &timing_spec());
+    }
+    return *slot;
+  }
+
   template <typename Kernel>
   void run_warps(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
-                 std::uint64_t count, std::uint64_t num_warps, Kernel& kernel,
-                 SanShard* shard, ProfShard* pshard) {
+                 std::uint64_t count, std::uint64_t num_warps, std::size_t sm_index,
+                 Kernel& kernel, SanShard* shard, ProfShard* pshard) {
     if (sched_.policy == SchedPolicy::Serial) {
       for (std::uint64_t i = 0; i < count; ++i) {
         const std::uint64_t w = start + i * stride;
@@ -309,8 +346,7 @@ class Device {
       }
     } else {
       using K = std::remove_reference_t<Kernel>;
-      WarpScheduler sched(sched_.policy, resident_window(spec_, sched_, num_warps),
-                          &timing_spec());
+      WarpScheduler& sched = pooled_scheduler(sm_index, num_warps);
       sched.run(ctx, start, stride, count,
                 const_cast<void*>(static_cast<const void*>(std::addressof(kernel))),
                 &Device::invoke_kernel<K>);
@@ -328,7 +364,7 @@ class Device {
     if (pshard != nullptr) {
       pshard->attach(&stats);
     }
-    run_warps(ctx, 0, 1, num_warps, num_warps, kernel, shard, pshard);
+    run_warps(ctx, 0, 1, num_warps, num_warps, 0, kernel, shard, pshard);
     if (pshard != nullptr) {
       pshard->finish();
     }
@@ -366,10 +402,11 @@ class Device {
         if (stripe) {
           const std::uint64_t count =
               num_warps > t ? (num_warps - t + t_count - 1) / t_count : 0;
-          run_warps(ctx, t, t_count, count, num_warps, kernel, shard, pshard);
-        } else {
-          run_warps(ctx, bounds[t], 1, bounds[t + 1] - bounds[t], bounds.back(), kernel,
+          run_warps(ctx, t, t_count, count, num_warps, static_cast<std::size_t>(t), kernel,
                     shard, pshard);
+        } else {
+          run_warps(ctx, bounds[t], 1, bounds[t + 1] - bounds[t], bounds.back(),
+                    static_cast<std::size_t>(t), kernel, shard, pshard);
         }
         if (pshard != nullptr) {
           pshard->finish();
@@ -410,6 +447,12 @@ class Device {
   std::vector<ProfileReport> prof_log_;
   std::vector<std::unique_ptr<VirtualSm>> sms_;    // lazily sized to threads_
   std::unique_ptr<SimThreadPool> pool_;            // lazily sized to threads_
+  /// Pooled per-launch scratch (reset, not reallocated, between launches):
+  /// one fiber scheduler per virtual SM and the sanitizer/profiler shard
+  /// vectors. Sized in launch() before any worker runs.
+  std::vector<std::unique_ptr<WarpScheduler>> sched_pool_;
+  std::vector<SanShard> san_shards_;
+  std::vector<ProfShard> prof_shards_;
 };
 
 }  // namespace spaden::sim

@@ -86,15 +86,23 @@ struct DeviceSpec {
   /// the scheduling policy interleaves.
   double lsu_wavefronts_per_cycle_ilv = 1.0;
   double cuda_issue_efficiency_ilv = 0.7;
-  /// Outstanding memory requests per warp the latency model credits. The
-  /// simulator suspends a warp at *every* memory instruction and would
-  /// otherwise charge the full load-to-use latency per access, as if each
-  /// warp had a single MSHR; real warps keep several independent loads in
-  /// flight before the first use stalls them. Effective completion latency
-  /// is `latency_cycles / mem_parallelism_ilv` — the calibration constant
-  /// that keeps warm steady-state rr timing within the documented drift
-  /// bound of serial (tools/calibrate_sched.py).
+  /// Outstanding memory requests per warp the latency model credits — the
+  /// rr scoreboard depth. Real warps keep several independent loads in
+  /// flight before the first use stalls them; the scheduler gives each
+  /// resident warp this many in-flight slots, charges every memory op its
+  /// raw level latency, and only suspends the warp when all slots hold
+  /// outstanding ops (gto keeps the older interval accounting and divides
+  /// its interval latency by this credit instead). Calibrated per
+  /// architecture by tools/calibrate_sched.py.
   double mem_parallelism_ilv = 4.0;
+  /// Fraction of the virtual SMs' measured exposed-stall cycles charged as
+  /// device wall-clock (t_stall). The scheduler replays an entire SM
+  /// partition through one resident window against one clock, so every
+  /// window's cold start and retire drain is observed back to back; on the
+  /// real device block starts stagger across SMs and DRAM queuing overlaps
+  /// neighbouring windows, hiding part of that exposure. Calibrated with
+  /// the other _ilv constants (tools/calibrate_sched.py).
+  double stall_exposure_ilv = 1.0;
 
   /// Peak CUDA-core lane-op rate (ops/s): one op per core per cycle.
   [[nodiscard]] double cuda_op_rate() const {

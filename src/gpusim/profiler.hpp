@@ -73,6 +73,22 @@ class ProfShard {
  public:
   explicit ProfShard(std::size_t max_events) : max_events_(max_events) {}
 
+  /// Capacity-preserving clear (shard pooling): equivalent to constructing a
+  /// fresh shard, but the event buffer keeps its allocation, so repeat
+  /// launches stop paying the per-launch shard malloc traffic.
+  void reset(std::size_t max_events) {
+    max_events_ = max_events;
+    stats_ = nullptr;
+    initial_ = KernelStats{};
+    total_ = KernelStats{};
+    warp_ = 0;
+    warps_ = 0;
+    depth_ = 0;
+    truncated_ = false;
+    ranges_.clear();
+    events_.clear();
+  }
+
   /// Bind to the counter block the owning thread charges into.
   void attach(const KernelStats* stats) {
     stats_ = stats;

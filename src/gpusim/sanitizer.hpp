@@ -93,6 +93,20 @@ class SanShard {
  public:
   explicit SanShard(std::size_t max_events) : max_events_(max_events) {}
 
+  /// Capacity-preserving clear (shard pooling): equivalent to constructing a
+  /// fresh shard, but the event buffers keep their allocations, so repeat
+  /// launches stop paying the per-launch shard malloc traffic.
+  void reset(std::size_t max_events) {
+    max_events_ = max_events;
+    warp_ = 0;
+    seq_ = 0;
+    last_mask_ = 0xFFFF'FFFFu;
+    kind_ = SanAccess::Load;
+    dropped_ = 0;
+    events_.clear();
+    lints_.clear();
+  }
+
   void begin_warp(std::uint64_t warp) {
     warp_ = warp;
     last_mask_ = 0xFFFF'FFFFu;

@@ -2,32 +2,65 @@
 //
 // A Fiber is one suspendable execution context: the scheduler resumes it,
 // the fiber runs until it yields (or its entry returns), and control comes
-// back to the resume() caller. Built on ucontext — no external deps — with
-// one fixed heap stack per fiber, so a suspended warp's locals (fragments,
-// Lanes<T> registers, RAII range guards) survive across switches.
+// back to the resume() caller. One fixed heap stack per fiber, so a
+// suspended warp's locals (fragments, Lanes<T> registers, RAII range
+// guards) survive across switches.
+//
+// Backend: on plain x86-64 Linux builds the switch is a hand-rolled
+// callee-saved-register swap (~20 instructions, no syscall). glibc's
+// swapcontext additionally saves and restores the signal mask — an
+// rt_sigprocmask syscall per switch — which dominates switch cost in
+// scheduled launches. Sanitizers understand ucontext (swapcontext is
+// intercepted) but not custom stack switching, so any sanitizer build, and
+// any non-x86-64 target, falls back to the ucontext backend; both backends
+// implement exactly the same API and the schedule is identical.
 //
 // Threading: a Fiber never migrates — it is created, resumed and finished
-// on one simulation thread (its virtual SM), which is also what keeps
-// glibc's ucontext TSan-visible (swapcontext is intercepted).
+// on one simulation thread (its virtual SM).
 #pragma once
-
-#include <ucontext.h>
 
 #include <cstddef>
 #include <memory>
 
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SPADEN_FIBER_UCONTEXT 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define SPADEN_FIBER_UCONTEXT 1
+#endif
+#endif
+#if !defined(SPADEN_FIBER_UCONTEXT) && defined(__x86_64__) && defined(__linux__)
+#define SPADEN_FIBER_FAST 1
+#else
+#undef SPADEN_FIBER_FAST
+#ifndef SPADEN_FIBER_UCONTEXT
+#define SPADEN_FIBER_UCONTEXT 1
+#endif
+#include <ucontext.h>
+#endif
+
 namespace spaden::sim {
 
-/// Per-fiber stack size. Kernel frames hold at most a few fragments plus
-/// Lanes<T> locals (~KBs); 128 KiB leaves two orders of magnitude headroom
-/// (sanitizer instrumentation widens frames but stays well inside it).
-inline constexpr std::size_t kFiberStackBytes = 128 * 1024;
+/// Built-in per-fiber stack size. Kernel frames hold a few fragments plus
+/// Lanes<T> locals: the measured high-water across the shipped kernels
+/// (SPADEN_SIM_FIBER_STACK_DEBUG over the test suite's scheduled launches)
+/// stays under 8 KiB, so 64 KiB leaves ~8x headroom. The stack canary turns
+/// an overflow into an immediate loud failure rather than silent corruption;
+/// raise SPADEN_SIM_FIBER_STACK if a custom kernel legitimately needs more.
+inline constexpr std::size_t kFiberStackBytes = 64 * 1024;
+
+/// Effective per-fiber stack size: SPADEN_SIM_FIBER_STACK (bytes, optional
+/// k/K/m/M suffix, clamped to [16 KiB, 8 MiB]) when set, else
+/// kFiberStackBytes. Parsed once per process.
+[[nodiscard]] std::size_t default_fiber_stack_bytes();
 
 class Fiber {
  public:
   using Entry = void (*)(void* arg);
 
-  explicit Fiber(std::size_t stack_bytes = kFiberStackBytes);
+  explicit Fiber(std::size_t stack_bytes = default_fiber_stack_bytes());
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
@@ -38,6 +71,8 @@ class Fiber {
 
   /// Switch from the calling context into the fiber; returns when the fiber
   /// yields or its entry returns. False once the entry has returned.
+  /// Verifies the stack canary on every return and fails loudly (with the
+  /// configured size and the env knob) if the fiber overflowed its stack.
   bool resume();
 
   /// From inside the fiber: suspend back to the resume() caller.
@@ -45,11 +80,30 @@ class Fiber {
 
   [[nodiscard]] bool finished() const { return finished_; }
 
+  /// SPADEN_SIM_FIBER_STACK_DEBUG=1: start() pattern-fills the stack so
+  /// high_water() can report the deepest byte a fiber ever touched (used to
+  /// size kFiberStackBytes). Parsed once per process.
+  [[nodiscard]] static bool stack_debug();
+
+  /// Deepest stack usage in bytes since the last start(); 0 unless
+  /// stack_debug() is on. Also folds the value into max_high_water().
+  [[nodiscard]] std::size_t high_water() const;
+
+  /// Process-wide maximum of every high_water() call (debug diagnostics).
+  [[nodiscard]] static std::size_t max_high_water();
+
  private:
   static void trampoline();
+  void write_canary();
+  void check_canary() const;
 
+#if defined(SPADEN_FIBER_FAST)
+  void* sp_ = nullptr;       // the fiber's suspended stack pointer
+  void* link_sp_ = nullptr;  // the resume() caller's stack pointer
+#else
   ucontext_t ctx_{};   // the fiber's suspended state
   ucontext_t link_{};  // the resume() caller's state
+#endif
   std::unique_ptr<char[]> stack_;
   std::size_t stack_bytes_;
   Entry entry_ = nullptr;

@@ -1,17 +1,24 @@
 #include "gpusim/sched/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hpp"
 #include "gpusim/warp.hpp"
 
 namespace spaden::sim {
 
-WarpScheduler::WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec)
-    : policy_(policy), window_(window), spec_(spec) {
+WarpScheduler::WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec) {
+  reconfigure(policy, window, spec);
+}
+
+void WarpScheduler::reconfigure(SchedPolicy policy, int window, const DeviceSpec* spec) {
   SPADEN_REQUIRE(policy != SchedPolicy::Serial,
                  "WarpScheduler requires an interleaving policy (rr|gto)");
   SPADEN_REQUIRE(window >= 1, "resident window %d must be >= 1", window);
+  policy_ = policy;
+  window_ = window;
+  spec_ = spec;
 }
 
 void WarpScheduler::fiber_entry(void* raw) {
@@ -33,7 +40,26 @@ void WarpScheduler::arm(Slot& slot, std::uint64_t warp) {
   slot.live = true;
   slot.fresh = true;
   slot.stalled = false;
+  slot.draining = false;
+  slot.inflight_n = 0;
   slot.fiber.start(&WarpScheduler::fiber_entry, &slot);
+}
+
+void WarpScheduler::retire(std::size_t s) {
+  Slot& slot = *slots_[s];
+  slot.draining = false;
+  if (Fiber::stack_debug()) {
+    (void)slot.fiber.high_water();  // fold this warp into the process max
+  }
+  if (next_idx_ < count_) {
+    arm(slot, start_ + next_idx_++ * stride_);  // rotate the next warp in
+  } else {
+    slot.live = false;
+    if (s < 64) {
+      live_mask_ &= ~(std::uint64_t{1} << s);
+    }
+    --live_count_;
+  }
 }
 
 double WarpScheduler::issue_cycles(const KernelStats& d) const {
@@ -50,13 +76,15 @@ double WarpScheduler::issue_cycles(const KernelStats& d) const {
 }
 
 double WarpScheduler::completion_latency(const KernelStats& d) const {
-  // A warp yields at the end of every memory instruction, so the interval's
-  // deltas classify the level that served it: any DRAM bytes mean the load
-  // waited on device memory, any L2 sectors mean an L1 miss served by L2,
-  // otherwise the L1 had it. The raw load-to-use latency is divided by the
-  // per-warp memory-parallelism credit: suspending at every instruction
-  // would otherwise model a single outstanding request per warp, while real
-  // warps keep several loads in flight before the first use stalls them.
+  // gto interval accounting: a warp suspends at the L2 miss that ended its
+  // residency, so the interval's deltas classify the level that served it:
+  // any DRAM bytes mean the load waited on device memory, any L2 sectors
+  // mean an L1 miss served by L2, otherwise the L1 had it. The raw
+  // load-to-use latency is divided by the per-warp memory-parallelism
+  // credit: suspending once per interval would otherwise model a single
+  // outstanding request per warp, while real warps keep several loads in
+  // flight before the first use stalls them. (rr models that parallelism
+  // explicitly with per-warp scoreboard slots — see op_latency.)
   const double mlp = std::max(1.0, spec_->mem_parallelism_ilv);
   if (d.dram_bytes > 0) {
     return static_cast<double>(spec_->dram_latency_cycles) / mlp;
@@ -67,15 +95,54 @@ double WarpScheduler::completion_latency(const KernelStats& d) const {
   return static_cast<double>(spec_->l1_latency_cycles) / mlp;
 }
 
+double WarpScheduler::op_latency() {
+  // Classify the memory op the warp just charged from the counter movement
+  // since the previous op (of any warp on this SM — marks are refreshed at
+  // every resume, and ops never interleave mid-instruction).
+  const std::uint64_t dram = stats_->dram_bytes;
+  const std::uint64_t sectors = stats_->sectors;
+  double latency;
+  if (dram != op_dram_mark_) {
+    latency = static_cast<double>(spec_->dram_latency_cycles);
+  } else if (sectors != op_sector_mark_) {
+    latency = static_cast<double>(spec_->l2_latency_cycles);
+  } else {
+    latency = static_cast<double>(spec_->l1_latency_cycles);
+  }
+  op_dram_mark_ = dram;
+  op_sector_mark_ = sectors;
+  return latency;
+}
+
 std::size_t WarpScheduler::pick() {
   const std::size_t n = slots_.size();
   for (;;) {
     if (policy_ == SchedPolicy::RoundRobin) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t s = (rr_next_ + i) % n;
-        if (slots_[s]->live && (!timing_ || slots_[s]->ready_at <= now_)) {
-          rr_next_ = (s + 1) % n;
-          return s;
+      if (n <= 64) {
+        // Loose-rr ready-mask: iterate only the live slots (cursor first,
+        // then the wrap-around word) and check readiness lazily against the
+        // clock — not-ready warps are skipped without scanning the window.
+        // Selection order matches the plain scan exactly.
+        const std::uint64_t all = ~std::uint64_t{0};
+        const std::uint64_t high = live_mask_ & (all << rr_next_);
+        const std::uint64_t low = live_mask_ & ~(all << rr_next_);
+        for (std::uint64_t m : {high, low}) {
+          while (m != 0) {
+            const auto s = static_cast<std::size_t>(std::countr_zero(m));
+            if (!timing_ || slots_[s]->ready_at <= now_) {
+              rr_next_ = (s + 1) % n;
+              return s;
+            }
+            m &= m - 1;
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t s = (rr_next_ + i) % n;
+          if (slots_[s]->live && (!timing_ || slots_[s]->ready_at <= now_)) {
+            rr_next_ = (s + 1) % n;
+            return s;
+          }
         }
       }
     } else {
@@ -134,7 +201,45 @@ void WarpScheduler::yield_point() {
       return;  // no L2 miss during this residency: stay greedy
     }
     slot.stalled = true;
+    slot.fiber.yield();
+    return;
   }
+  if (!timing_) {
+    slot.fiber.yield();  // pure interleaving: switch at every memory op
+    return;
+  }
+  // rr scoreboard: the op just charged occupies an in-flight slot until its
+  // completion cycle. The warp only suspends when every slot holds a
+  // genuinely outstanding op — that is the instruction-grained refinement
+  // that replaces one fiber switch per op with one per filled scoreboard.
+  const double latency = op_latency();
+  int n = slot.inflight_n;
+  for (int i = 0; i < n;) {
+    if (slot.inflight[static_cast<std::size_t>(i)] <= now_) {
+      slot.inflight[static_cast<std::size_t>(i)] =
+          slot.inflight[static_cast<std::size_t>(--n)];  // completed: free the slot
+    } else {
+      ++i;
+    }
+  }
+  if (n < scoreboard_slots_) {
+    slot.inflight[static_cast<std::size_t>(n)] = now_ + latency;
+    slot.inflight_n = n + 1;
+    return;  // a slot was free: the op issues without suspending the warp
+  }
+  // Scoreboard full: the warp waits for the earliest outstanding completion,
+  // then this op issues in the freed slot.
+  int min_i = 0;
+  for (int i = 1; i < n; ++i) {
+    if (slot.inflight[static_cast<std::size_t>(i)] <
+        slot.inflight[static_cast<std::size_t>(min_i)]) {
+      min_i = i;
+    }
+  }
+  const double t0 = slot.inflight[static_cast<std::size_t>(min_i)];
+  slot.inflight[static_cast<std::size_t>(min_i)] = t0 + latency;
+  slot.inflight_n = n;
+  slot.ready_at = t0;
   slot.fiber.yield();
 }
 
@@ -156,33 +261,53 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
   next_idx_ = 0;
   const std::size_t window = static_cast<std::size_t>(
       std::min<std::uint64_t>(static_cast<std::uint64_t>(window_), count));
-  if (slots_.size() != window) {
-    slots_.clear();
-    slots_.reserve(window);
-    for (std::size_t s = 0; s < window; ++s) {
-      slots_.push_back(std::make_unique<Slot>());
-      slots_.back()->owner = this;
-    }
+  // Resize-preserving slot pool: surviving slots keep their fiber stacks, so
+  // repeat launches (iterations, multi-pass kernels) allocate nothing.
+  while (slots_.size() > window) {
+    slots_.pop_back();
+  }
+  slots_.reserve(window);
+  while (slots_.size() < window) {
+    slots_.push_back(std::make_unique<Slot>());
+    slots_.back()->owner = this;
   }
   for (auto& slot : slots_) {
     arm(*slot, start_ + next_idx_++ * stride_);
   }
   live_count_ = window;
   rr_next_ = 0;
+  live_mask_ = window >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << window) - 1;
   // The latency model needs >1 resident warp (a lone warp has nothing to
   // cover its latency with — and the rr:1 window must stay bit-identical to
   // the serial launcher) and a device spec to read latencies from.
   timing_ = spec_ != nullptr && window > 1;
   now_ = 0;
   pending_stall_ = 0;
+  op_dram_mark_ = stats_->dram_bytes;
+  op_sector_mark_ = stats_->sectors;
   if (timing_) {
     tc_flops_per_cycle_ = spec_->tc_half_tflops * 1e12 /
                           (static_cast<double>(spec_->sm_count) * spec_->clock_ghz * 1e9);
+    scoreboard_slots_ = std::clamp(static_cast<int>(spec_->mem_parallelism_ilv), 1,
+                                   kMaxScoreboard);
   }
   ctx.set_scheduler(this);
   while (live_count_ > 0) {
     const std::size_t s = pick();
     Slot& slot = *slots_[s];
+    if (slot.draining) {
+      // The warp body already returned; the clock has now passed its last
+      // in-flight completion (pick only returns ready slots), so the slot
+      // can finally be freed. Stalls the drain exposed are charged here —
+      // the warp has no open ranges left to attribute them to.
+      const auto charge = static_cast<std::uint64_t>(pending_stall_);
+      if (charge > 0) {
+        stats_->exposed_stall_cycles += charge;
+        pending_stall_ -= static_cast<double>(charge);
+      }
+      retire(s);
+      continue;
+    }
     if (slot.fresh) {
       if (san_ != nullptr) {
         san_->begin_warp(slot.warp);
@@ -219,7 +344,9 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
     if (timing_) {
       const KernelStats delta = *stats_ - interval_snap_;
       now_ += issue_cycles(delta);
-      if (suspended) {
+      if (suspended && policy_ == SchedPolicy::Gto) {
+        // Interval accounting; rr set ready_at at the yield point from the
+        // warp's own scoreboard (earliest in-flight completion).
         slot.ready_at = now_ + completion_latency(delta);
       }
     }
@@ -237,12 +364,20 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
       if (error_) {
         break;  // abandon the remaining fibers, rethrow below
       }
-      if (next_idx_ < count_) {
-        arm(slot, start_ + next_idx_++ * stride_);  // rotate the next warp in
-      } else {
-        slot.live = false;
-        --live_count_;
+      if (timing_ && policy_ == SchedPolicy::RoundRobin && slot.inflight_n > 0) {
+        double last = 0;
+        for (int i = 0; i < slot.inflight_n; ++i) {
+          last = std::max(last, slot.inflight[static_cast<std::size_t>(i)]);
+        }
+        if (last > now_) {
+          // Outstanding memory ops survive the warp body: hold the slot
+          // until the scoreboard drains (see Slot::draining).
+          slot.draining = true;
+          slot.ready_at = last;
+          continue;
+        }
       }
+      retire(s);
     }
   }
   ctx.set_scheduler(nullptr);

@@ -13,16 +13,25 @@
 // Latency model: when a DeviceSpec is attached, the scheduler keeps a
 // virtual SM clock (in cycles). Each residency interval advances the clock
 // by the issue cost of what the warp charged (LSU wavefronts, CUDA lane-ops,
-// tensor-core FLOPs — whichever pipe is the bottleneck), and a warp that
-// suspends on a memory op becomes ready again only after the latency of the
-// level that served it (L1/L2/DRAM, classified from the interval's counter
-// deltas, divided by the spec's per-warp memory-parallelism credit — real
-// warps keep several loads in flight). The policy only picks among *ready*
-// warp is waiting, the clock jumps to the earliest completion and the gap is
-// charged to KernelStats::exposed_stall_cycles — the cycles nothing could
-// cover, which estimate_time turns into the additive t_stall term. With a
-// single resident warp (or no spec) the accounting is off and the counter
-// stays 0, preserving serial-mode byte-identity.
+// tensor-core FLOPs — whichever pipe is the bottleneck). Under rr each
+// resident warp additionally owns a small scoreboard of in-flight memory
+// ops (spec.mem_parallelism_ilv slots — the per-warp MLP the old model
+// approximated by dividing latencies): a memory op that finds a free slot
+// records its completion cycle and the warp *keeps running*; only when
+// every slot holds a genuinely outstanding op does the warp suspend, until
+// the earliest completion frees a slot. This is the instruction-grained
+// latency refinement: latencies are charged raw per level (L1/L2/DRAM,
+// classified per op from the counter stream) instead of divided by a flat
+// parallelism credit, and fiber switches happen once per filled scoreboard
+// instead of once per op. gto keeps the classic interval accounting: run
+// until an L2 miss, then suspend for the interval's classified latency
+// (divided by the parallelism credit). The policy only picks among *ready*
+// warps; when every warp is waiting, the clock jumps to the earliest
+// completion and the gap is charged to KernelStats::exposed_stall_cycles —
+// the cycles nothing could cover, which estimate_time turns into the
+// additive t_stall term. With a single resident warp (or no spec) the
+// accounting is off and the counter stays 0, preserving serial-mode
+// byte-identity.
 //
 // Determinism: the schedule is a pure function of the policy and of the
 // counter stream the warps produce, so with the per-SM slice L2
@@ -44,6 +53,7 @@
 // warp suspended in and range attribution stays exact across switches.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -72,6 +82,12 @@ class WarpScheduler {
   /// Device uses timing_spec().
   WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec = nullptr);
 
+  /// Re-point a pooled scheduler at a (possibly) new configuration before
+  /// run(). Fiber slots — and their stacks — are reused when the effective
+  /// window is unchanged, which is the arena pooling that removes the
+  /// per-launch stack allocation traffic.
+  void reconfigure(SchedPolicy policy, int window, const DeviceSpec* spec = nullptr);
+
   /// Run warps {start + i*stride : i in [0, count)} of `body` interleaved
   /// over the resident window (stride 1 = one contiguous SM range; stride T
   /// = round-robin striping). Registers itself as ctx's yield sink for the
@@ -86,6 +102,10 @@ class WarpScheduler {
   void yield_point();
 
  private:
+  /// Scoreboard capacity cap: mem_parallelism_ilv values land well below
+  /// this (both shipped specs use 4).
+  static constexpr int kMaxScoreboard = 8;
+
   struct Slot {
     WarpScheduler* owner = nullptr;
     Fiber fiber;
@@ -94,6 +114,14 @@ class WarpScheduler {
     bool live = false;
     bool fresh = true;     ///< shards not yet told about this warp
     bool stalled = false;  ///< gto: the last residency ended on an L2 miss
+    /// rr: the warp body returned but in-flight memory ops are still
+    /// outstanding; the slot is freed (retired or re-armed) only once the
+    /// clock passes the last completion — warps cannot retire ahead of
+    /// their scoreboard, so tail latencies stay visible as exposed stalls.
+    bool draining = false;
+    /// rr scoreboard: completion cycles of this warp's in-flight memory ops.
+    std::array<double, kMaxScoreboard> inflight{};
+    int inflight_n = 0;
     SanShard::WarpState san_state{};
     ProfShard::WarpState prof_state{};
   };
@@ -101,6 +129,8 @@ class WarpScheduler {
   static void fiber_entry(void* raw);
 
   void arm(Slot& slot, std::uint64_t warp);
+  /// Free slot `s`: rotate the next unlaunched warp in, or mark it dead.
+  void retire(std::size_t s);
   /// Next slot to resume, per policy. Advances the virtual clock past a
   /// stall (accumulating pending_stall_) when no live warp is ready.
   /// Pre: live_count_ > 0.
@@ -108,8 +138,12 @@ class WarpScheduler {
   /// Cycles the issuing pipes need for one residency interval's charges.
   [[nodiscard]] double issue_cycles(const KernelStats& delta) const;
   /// Load-to-use latency of the memory level that served the interval's
-  /// last (suspending) memory instruction.
+  /// last (suspending) memory instruction (gto interval accounting).
   [[nodiscard]] double completion_latency(const KernelStats& delta) const;
+  /// Raw latency of the memory op just charged, classified from the
+  /// since-last-op counter marks (rr scoreboard accounting). Updates the
+  /// marks.
+  [[nodiscard]] double op_latency();
 
   SchedPolicy policy_;
   int window_;
@@ -126,10 +160,14 @@ class WarpScheduler {
   std::uint64_t count_ = 0;
   std::size_t live_count_ = 0;
   std::size_t current_ = 0;
-  std::size_t rr_next_ = 0;      ///< round-robin cursor
-  std::uint64_t dram_mark_ = 0;  ///< stats_->dram_bytes when current_ resumed
-  bool timing_ = false;          ///< latency model active this run
-  double now_ = 0;               ///< virtual SM clock, cycles since run() start
+  std::size_t rr_next_ = 0;        ///< round-robin cursor
+  std::uint64_t live_mask_ = 0;    ///< bit per live slot (windows <= 64; pick fast path)
+  std::uint64_t dram_mark_ = 0;    ///< stats_->dram_bytes when current_ resumed
+  std::uint64_t op_dram_mark_ = 0;    ///< stats_->dram_bytes after the previous memory op
+  std::uint64_t op_sector_mark_ = 0;  ///< stats_->sectors after the previous memory op
+  int scoreboard_slots_ = 1;       ///< per-warp in-flight memory ops (rr)
+  bool timing_ = false;            ///< latency model active this run
+  double now_ = 0;                 ///< virtual SM clock, cycles since run() start
   double pending_stall_ = 0;     ///< stall cycles awaiting charge (+ residue < 1)
   double tc_flops_per_cycle_ = 0;
   KernelStats interval_snap_{};  ///< stats when current_ was (re)started

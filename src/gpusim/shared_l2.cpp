@@ -1,21 +1,25 @@
 #include "gpusim/shared_l2.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/error.hpp"
 
 namespace spaden::sim {
 
-SharedL2::SharedL2(std::uint64_t capacity_bytes, int ways, std::uint32_t sector_bytes)
+SharedL2::SharedL2(std::uint64_t capacity_bytes, int ways, std::uint32_t sector_bytes,
+                   std::uint64_t max_stripes)
     : sector_bytes_(sector_bytes) {
   SPADEN_REQUIRE(ways > 0, "shared L2 ways must be positive");
   SPADEN_REQUIRE(std::has_single_bit(sector_bytes), "sector size must be a power of two");
+  SPADEN_REQUIRE(max_stripes > 0, "shared L2 needs at least one stripe");
   // Mirror SectorCache's rounding so stripes partition exactly the sets the
   // monolithic cache would have.
   const std::uint64_t lines =
       capacity_bytes / sector_bytes / static_cast<std::uint64_t>(ways);
   const std::uint64_t total_sets = std::bit_floor(lines == 0 ? 1 : lines);
-  const std::uint64_t stripe_count = std::min(kMaxStripes, total_sets);
+  const std::uint64_t stripe_count =
+      std::min({kMaxStripes, std::bit_floor(max_stripes), total_sets});
   stripe_mask_ = stripe_count - 1;
   stripe_shift_ = std::countr_zero(stripe_count);
   const std::uint64_t stripe_capacity = (total_sets / stripe_count) *
@@ -24,17 +28,6 @@ SharedL2::SharedL2(std::uint64_t capacity_bytes, int ways, std::uint32_t sector_
   for (std::uint64_t s = 0; s < stripe_count; ++s) {
     stripes_.push_back(std::make_unique<Stripe>(stripe_capacity, ways, sector_bytes));
   }
-}
-
-bool SharedL2::access(std::uint64_t byte_addr) {
-  const std::uint64_t sector = byte_addr / sector_bytes_;
-  Stripe& stripe = *stripes_[sector & stripe_mask_];
-  // The stripe's cache sees the sector number with the stripe bits removed,
-  // so its set index equals the high bits of the monolithic set index and
-  // its tags still distinguish all sectors the stripe owns.
-  const std::uint64_t inner_addr = (sector >> stripe_shift_) * sector_bytes_;
-  const std::lock_guard<std::mutex> lock(stripe.mu);
-  return stripe.cache.access(inner_addr);
 }
 
 void SharedL2::flush() {

@@ -33,11 +33,50 @@ class SharedL2 {
   /// Stripes are capped at this count (or the total set count if smaller).
   static constexpr std::uint64_t kMaxStripes = 64;
 
-  SharedL2(std::uint64_t capacity_bytes, int ways, std::uint32_t sector_bytes);
+  /// `max_stripes` (rounded down to a power of two, clamped to [1,
+  /// kMaxStripes]) bounds the shard count. Striping exists purely so
+  /// concurrent simulation threads lock disjoint shards; a device that runs
+  /// one simulation thread should pass 1: classification is identical at any
+  /// stripe count (see above), but a single stripe keeps the tag/stamp
+  /// arrays in one contiguous allocation, which the host hardware
+  /// prefetcher and TLB handle several times faster than 64 scattered ones
+  /// (~2.4x per probe on DRAM-resident tag arrays). The count is fixed for
+  /// the cache's lifetime — warmed state never migrates between layouts.
+  SharedL2(std::uint64_t capacity_bytes, int ways, std::uint32_t sector_bytes,
+           std::uint64_t max_stripes = kMaxStripes);
 
   /// Probe/insert the sector containing `byte_addr`; true on hit.
   /// Thread-safe: locks only the stripe owning the sector.
-  bool access(std::uint64_t byte_addr);
+  bool access(std::uint64_t byte_addr) { return access_sector(byte_addr / sector_bytes_); }
+
+  /// Probe/insert by sector number (byte address / sector size); true on
+  /// hit. Same locking as access().
+  bool access_sector(std::uint64_t sector) {
+    Stripe& stripe = *stripes_[sector & stripe_mask_];
+    // The stripe's cache sees the sector number with the stripe bits
+    // removed, so its set index equals the high bits of the monolithic set
+    // index and its tags still distinguish all sectors the stripe owns.
+    const std::uint64_t line = sector >> stripe_shift_;
+    if (!concurrent_) {
+      return stripe.cache.access_line(line);
+    }
+    const std::lock_guard<std::mutex> lock(stripe.mu);
+    return stripe.cache.access_line(line);
+  }
+
+  /// Prefetch hint for an upcoming access_sector call (see
+  /// SectorCache::prefetch_line). Touches no stripe state and takes no
+  /// lock, so it is safe from any thread at any time.
+  void prefetch_sector(std::uint64_t sector) const {
+    stripes_[sector & stripe_mask_]->cache.prefetch_line(sector >> stripe_shift_);
+  }
+
+  /// Concurrency mode. A launch driven by one simulation thread probes the
+  /// stripes from that thread alone, making stripe locking pure overhead
+  /// (an uncontended mutex round trip per L2 probe); Device::launch turns
+  /// locking off for T=1 launches and back on for parallel ones. Has no
+  /// effect on classification — only on synchronization.
+  void set_concurrent(bool on) { concurrent_ = on; }
 
   /// Drop all cached state (cold-cache experiments). Not thread-safe.
   void flush();
@@ -59,6 +98,7 @@ class SharedL2 {
   std::uint32_t sector_bytes_;
   std::uint64_t stripe_mask_ = 0;
   int stripe_shift_ = 0;
+  bool concurrent_ = true;
   std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 

@@ -75,6 +75,9 @@ class SpadenKernel final : public SpmvKernel {
     }
     device.set_warp_weights(std::move(weights));
     bitbsr_ = DeviceBitBsr::upload(device.memory(), bb);
+    // Prepare-time hint: share the bitmap decode tables across all warps
+    // and launches (modeled work is unchanged; see BitBsrDecodeCache).
+    decode_cache_.build_if_enabled(bb);
   }
 
   sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
@@ -247,7 +250,7 @@ class SpadenKernel final : public SpmvKernel {
   DecodedSlot decode(sim::WarpCtx& ctx, sim::DSpan<const float> x, mat::Index ncols,
                      mat::Index a_idx) {
     DecodedSlot out{};
-    const DecodedBlock block = decode_bitbsr_block(ctx, bitbsr_, a_idx);
+    const DecodedBlock block = decode_bitbsr_block(ctx, bitbsr_, a_idx, decode_cache_.get());
     out.a_val1 = block.a_val1;
     out.a_val2 = block.a_val2;
 
@@ -269,6 +272,7 @@ class SpadenKernel final : public SpmvKernel {
   SpadenVariant variant_;
   bool use_tc_;
   DeviceBitBsr bitbsr_;
+  BitBsrDecodeCache decode_cache_;
 };
 
 }  // namespace

@@ -77,6 +77,8 @@ SpmmResult spmm_spaden(sim::Device& device, const mat::Csr& a, const mat::Dense&
   SPADEN_REQUIRE(a.ncols == b.nrows, "SpMM shape mismatch");
   const mat::BitBsr bb_host = mat::BitBsr::from_csr(a);
   const DeviceBitBsr bb = DeviceBitBsr::upload(device.memory(), bb_host);
+  BitBsrDecodeCache decode_cache;
+  decode_cache.build_if_enabled(bb_host);
   auto b_dev = device.memory().upload(b.data, "spmm.b");
   auto c_dev = device.memory().alloc<float>(static_cast<std::size_t>(a.nrows) * b.ncols, "spmm.c");
 
@@ -122,7 +124,7 @@ SpmmResult spmm_spaden(sim::Device& device, const mat::Csr& a, const mat::Dense&
           continue;
         }
         const mat::Index a_idx = (slot == 0 ? begin1 : begin2) + j;
-        const DecodedBlock dec = decode_bitbsr_block(ctx, bb, a_idx);
+        const DecodedBlock dec = decode_bitbsr_block(ctx, bb, a_idx, decode_cache.get());
         // B portion (column-major): lane holds portion column lane/4, rows
         // 2*(lane%4) and +1 — i.e. B[bc*8 + 2*(lane%4)][tile + lane/4].
         sim::Lanes<std::uint32_t> bidx1{};

@@ -27,6 +27,22 @@ Coord frag_coord(FragUse use, unsigned lane, unsigned reg) {
   return Coord{portion_row * kPortionDim + local_row, portion_col * kPortionDim + local_col};
 }
 
+const FragCoordTable& frag_coord_table(FragUse use) {
+  static const std::array<FragCoordTable, 3> tables = [] {
+    std::array<FragCoordTable, 3> t{};
+    for (const FragUse u : {FragUse::MatrixA, FragUse::MatrixB, FragUse::Accumulator}) {
+      FragCoordTable& tab = t[static_cast<unsigned>(u)];
+      for (unsigned lane = 0; lane < kLanes; ++lane) {
+        for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
+          tab.at[lane * kRegsPerLane + reg] = frag_coord(u, lane, reg);
+        }
+      }
+    }
+    return t;
+  }();
+  return tables[static_cast<unsigned>(use)];
+}
+
 std::pair<unsigned, unsigned> frag_locate(FragUse use, unsigned row, unsigned col) {
   SPADEN_REQUIRE(row < kFragDim && col < kFragDim, "invalid coordinate (%u, %u)", row, col);
   const unsigned portion_row = row / kPortionDim;

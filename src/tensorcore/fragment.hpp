@@ -58,6 +58,14 @@ struct Coord {
 /// Fragment coordinate held by (lane, reg) for the given use.
 [[nodiscard]] Coord frag_coord(FragUse use, unsigned lane, unsigned reg);
 
+/// All 256 frag_coord results for one use, indexed lane * kRegsPerLane + reg.
+/// The interpreter's hot paths (to_matrix/from_matrix, wmma_mma) walk this
+/// table instead of re-deriving the mapping per element.
+struct FragCoordTable {
+  std::array<Coord, kLanes * kRegsPerLane> at;
+};
+[[nodiscard]] const FragCoordTable& frag_coord_table(FragUse use);
+
 /// Inverse mapping: (lane, reg) holding fragment element (row, col).
 [[nodiscard]] std::pair<unsigned, unsigned> frag_locate(FragUse use, unsigned row,
                                                         unsigned col);
@@ -89,9 +97,10 @@ class Fragment {
   /// Dense 16x16 view assembled from the register layout.
   [[nodiscard]] std::array<std::array<T, kFragDim>, kFragDim> to_matrix() const {
     std::array<std::array<T, kFragDim>, kFragDim> m{};
+    const FragCoordTable& tab = frag_coord_table(Use);
     for (unsigned lane = 0; lane < kLanes; ++lane) {
       for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
-        const Coord c = frag_coord(Use, lane, reg);
+        const Coord c = tab.at[lane * kRegsPerLane + reg];
         m[c.row][c.col] = x_[lane][reg];
       }
     }
@@ -100,9 +109,10 @@ class Fragment {
 
   /// Scatter a dense 16x16 matrix into the register layout.
   void from_matrix(const std::array<std::array<T, kFragDim>, kFragDim>& m) {
+    const FragCoordTable& tab = frag_coord_table(Use);
     for (unsigned lane = 0; lane < kLanes; ++lane) {
       for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
-        const Coord c = frag_coord(Use, lane, reg);
+        const Coord c = tab.at[lane * kRegsPerLane + reg];
         x_[lane][reg] = m[c.row][c.col];
       }
     }

@@ -71,22 +71,44 @@ void wmma_store(sim::WarpCtx& ctx, sim::DSpan<float> dst, std::size_t offset,
 
 void wmma_mma(sim::WarpCtx& ctx, FragAcc& d, const FragA& a, const FragB& b,
               const FragAcc& c) {
-  const auto am = a.to_matrix();
-  const auto bm = b.to_matrix();
-  const auto cm = c.to_matrix();
-  std::array<std::array<float, kFragDim>, kFragDim> dm{};
-  for (unsigned i = 0; i < kFragDim; ++i) {
-    for (unsigned j = 0; j < kFragDim; ++j) {
-      // Tensor-core numerics: binary16 operands promoted exactly to fp32,
-      // products and sums accumulated in fp32.
-      float acc = cm[i][j];
-      for (unsigned k = 0; k < kFragDim; ++k) {
-        acc += am[i][k].to_float() * bm[k][j].to_float();
-      }
-      dm[i][j] = acc;
+  // Tensor-core numerics: binary16 operands promoted exactly to fp32,
+  // products and sums accumulated in fp32. Each operand element is converted
+  // once up front (promotion is exact, so converting once or per product is
+  // the same value). The i-k-j loop order lets the compiler vectorize the
+  // inner j loop; each dm[i][j] still accumulates its products in ascending
+  // k order, so every output element's operation chain — and with it the
+  // result — matches the reference i-j-k triple loop bit for bit.
+  const FragCoordTable& ta = frag_coord_table(FragUse::MatrixA);
+  const FragCoordTable& tb = frag_coord_table(FragUse::MatrixB);
+  const FragCoordTable& tacc = frag_coord_table(FragUse::Accumulator);
+  float af[kFragDim][kFragDim];  // A, row-major
+  float bm[kFragDim][kFragDim];  // B, row-major
+  float dm[kFragDim][kFragDim];  // C on entry, D on exit
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
+      const unsigned e = lane * kRegsPerLane + reg;
+      const Coord ca = ta.at[e];
+      const Coord cb = tb.at[e];
+      const Coord cc = tacc.at[e];
+      af[ca.row][ca.col] = a.x(lane, reg).to_float();
+      bm[cb.row][cb.col] = b.x(lane, reg).to_float();
+      dm[cc.row][cc.col] = c.x(lane, reg);
     }
   }
-  d.from_matrix(dm);
+  for (unsigned i = 0; i < kFragDim; ++i) {
+    for (unsigned k = 0; k < kFragDim; ++k) {
+      const float av = af[i][k];
+      for (unsigned j = 0; j < kFragDim; ++j) {
+        dm[i][j] += av * bm[k][j];
+      }
+    }
+  }
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    for (unsigned reg = 0; reg < kRegsPerLane; ++reg) {
+      const Coord cc = tacc.at[lane * kRegsPerLane + reg];
+      d.x(lane, reg) = dm[cc.row][cc.col];
+    }
+  }
   ++ctx.stats().tc_mma_m16n16k16;
 }
 

@@ -3,6 +3,12 @@
 // so the coalescing arithmetic is pinned down exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
 #include "gpusim/controller.hpp"
 #include "gpusim/warp.hpp"
 
@@ -127,6 +133,141 @@ TEST_F(ControllerTest, AtomicStraddlingSectorChargesBothSectors) {
   EXPECT_EQ(stats_.wavefronts, 2u);
   EXPECT_EQ(stats_.atomic_lane_ops, 1u);
   EXPECT_EQ(stats_.lane_stores, 1u);
+}
+
+// Reference semantics of one warp memory instruction, written the way the
+// pre-batching controller worked: expand every active lane's sectors one by
+// one, reduce to the ascending unique set, and probe each sector through L1
+// then L2 in that order. The batched classification in
+// MemoryController::access is an optimization of exactly this — same probe
+// order, so cache LRU state and every counter must track bit-for-bit.
+void reference_access(SectorCache& l1, SectorCache& l2, KernelStats& stats,
+                      const std::array<std::uint64_t, 32>& addrs,
+                      const std::array<std::uint32_t, 32>& sizes, std::uint32_t mask,
+                      bool is_store) {
+  if (mask == 0) {
+    return;
+  }
+  ++stats.mem_instructions;
+  const std::uint32_t sector_bytes = l2.sector_bytes();
+  const auto shift = static_cast<std::uint32_t>(std::countr_zero(sector_bytes));
+  std::vector<std::uint64_t> sectors;
+  for (int lane = 0; lane < 32; ++lane) {
+    if (((mask >> lane) & 1u) == 0) {
+      continue;
+    }
+    if (is_store) {
+      ++stats.lane_stores;
+    } else {
+      ++stats.lane_loads;
+    }
+    const std::uint64_t addr = addrs[static_cast<std::size_t>(lane)];
+    const std::uint64_t first = addr >> shift;
+    const std::uint64_t last = (addr + sizes[static_cast<std::size_t>(lane)] - 1) >> shift;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      sectors.push_back(s);
+    }
+  }
+  std::sort(sectors.begin(), sectors.end());
+  sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
+  for (const std::uint64_t s : sectors) {
+    ++stats.wavefronts;
+    if (l1.access_line(s)) {
+      stats.l1_hit_bytes += sector_bytes;
+      continue;
+    }
+    ++stats.sectors;
+    if (l2.access_line(s)) {
+      stats.l2_hit_bytes += sector_bytes;
+    } else {
+      stats.dram_bytes += sector_bytes;
+    }
+  }
+}
+
+TEST(BatchedClassification, MatchesPerLaneReferenceOnRandomTraffic) {
+  // Small caches so the traffic mix actually exercises evictions: every
+  // probe outcome (L1 hit, L2 hit, DRAM) appears many times, and any
+  // divergence in probe order between the batched path and the reference
+  // would desynchronize the LRU state and show up in the byte counters.
+  SectorCache ref_l1(2 * 1024, 4);
+  SectorCache ref_l2(16 * 1024, 8);
+  KernelStats ref_stats;
+  SectorCache bat_l1(2 * 1024, 4);
+  SectorCache bat_l2(16 * 1024, 8);
+  KernelStats bat_stats;
+  MemoryController mc(&bat_l1, &bat_l2, &bat_stats);
+
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;  // deterministic xorshift64
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  constexpr std::array<std::uint32_t, 5> kSizes{1, 2, 4, 8, 16};
+
+  for (int i = 0; i < 3000; ++i) {
+    std::array<std::uint64_t, 32> addrs{};
+    std::array<std::uint32_t, 32> sizes{};
+    switch (i % 5) {
+      case 0: {  // fully coalesced ascending (the common fast path)
+        const std::uint64_t base = next() % (1u << 16);
+        for (int lane = 0; lane < 32; ++lane) {
+          addrs[static_cast<std::size_t>(lane)] = base + 4 * static_cast<std::uint64_t>(lane);
+          sizes[static_cast<std::size_t>(lane)] = 4;
+        }
+        break;
+      }
+      case 1: {  // random scatter with mixed access sizes
+        for (int lane = 0; lane < 32; ++lane) {
+          addrs[static_cast<std::size_t>(lane)] = next() % (1u << 16);
+          sizes[static_cast<std::size_t>(lane)] = kSizes[next() % kSizes.size()];
+        }
+        break;
+      }
+      case 2: {  // descending stride: forces the sort fallback
+        const std::uint64_t base = next() % (1u << 16);
+        for (int lane = 0; lane < 32; ++lane) {
+          addrs[static_cast<std::size_t>(lane)] =
+              base + 128 * static_cast<std::uint64_t>(31 - lane);
+          sizes[static_cast<std::size_t>(lane)] = 4;
+        }
+        break;
+      }
+      case 3: {  // broadcast: all lanes on one address (immediate repeats)
+        const std::uint64_t addr = next() % (1u << 16);
+        for (int lane = 0; lane < 32; ++lane) {
+          addrs[static_cast<std::size_t>(lane)] = addr;
+          sizes[static_cast<std::size_t>(lane)] = 8;
+        }
+        break;
+      }
+      default: {  // every lane straddles a sector boundary
+        for (int lane = 0; lane < 32; ++lane) {
+          addrs[static_cast<std::size_t>(lane)] = (next() % (1u << 11)) * 32 + 30;
+          sizes[static_cast<std::size_t>(lane)] = 8;
+        }
+        break;
+      }
+    }
+    // Mix of empty, full and random masks; random load/store.
+    const std::uint32_t mask = i % 7 == 0   ? 0u
+                               : i % 3 == 0 ? kFullMask
+                                            : static_cast<std::uint32_t>(next());
+    const bool is_store = (next() & 1u) != 0;
+    mc.access(addrs, sizes, mask, is_store);
+    reference_access(ref_l1, ref_l2, ref_stats, addrs, sizes, mask, is_store);
+  }
+
+  EXPECT_EQ(bat_stats.mem_instructions, ref_stats.mem_instructions);
+  EXPECT_EQ(bat_stats.lane_loads, ref_stats.lane_loads);
+  EXPECT_EQ(bat_stats.lane_stores, ref_stats.lane_stores);
+  EXPECT_EQ(bat_stats.wavefronts, ref_stats.wavefronts);
+  EXPECT_EQ(bat_stats.sectors, ref_stats.sectors);
+  EXPECT_EQ(bat_stats.l1_hit_bytes, ref_stats.l1_hit_bytes);
+  EXPECT_EQ(bat_stats.l2_hit_bytes, ref_stats.l2_hit_bytes);
+  EXPECT_EQ(bat_stats.dram_bytes, ref_stats.dram_bytes);
 }
 
 TEST_F(ControllerTest, StatsAccumulateAcrossInstructions) {

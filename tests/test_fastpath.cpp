@@ -1,0 +1,195 @@
+// Serial-anchor regression tests for the interpreter fast paths: the
+// host-performance work (decoded-block caching, launch-to-launch arena
+// pooling, batched sector classification, scheduled fibers) speeds up the
+// *host* simulation only. Each optimization must leave modeled counters,
+// numerics and profiles bit-identical to the slow path it replaced — these
+// tests pin that contract per optimization in isolation (the batched
+// classification has its own reference test in test_controller.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/bitbsr_decode.hpp"
+#include "kernels/kernel.hpp"
+#include "matrix/dataset.hpp"
+
+namespace spaden::kern {
+namespace {
+
+/// Scoped environment override that restores the previous value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+struct RunOut {
+  std::vector<float> y;
+  sim::KernelStats stats;
+};
+
+RunOut run_spaden(const mat::Csr& a, int threads = 1,
+                  sim::SchedConfig sched = sim::default_sched()) {
+  sim::Device device(sim::l40());
+  device.set_sim_threads(threads);
+  device.set_shared_l2(false);  // slice L2: exact at any thread count
+  device.set_sched(sched);
+  auto kernel = make_kernel(Method::Spaden);
+  kernel->prepare(device, a);
+  std::vector<float> x(a.ncols);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.7f - 0.004f * static_cast<float>(i % 331);
+  }
+  auto xb = device.memory().upload(x);
+  auto y = device.memory().alloc<float>(a.nrows);
+  const sim::LaunchResult result = kernel->run(device, xb.cspan(), y.span());
+  return {y.host(), result.stats};
+}
+
+TEST(DecodeCache, EnvKillSwitchParses) {
+  {
+    const EnvGuard g("SPADEN_SIM_DECODE_CACHE", "0");
+    EXPECT_FALSE(BitBsrDecodeCache::enabled());
+  }
+  {
+    const EnvGuard g("SPADEN_SIM_DECODE_CACHE", "1");
+    EXPECT_TRUE(BitBsrDecodeCache::enabled());
+  }
+  {  // empty value = default = enabled
+    const EnvGuard g("SPADEN_SIM_DECODE_CACHE", "");
+    EXPECT_TRUE(BitBsrDecodeCache::enabled());
+  }
+}
+
+TEST(DecodeCache, DisabledCacheBuildsNothing) {
+  const mat::Csr a = mat::load_dataset("conf5", 0.005);
+  const mat::BitBsr bsr = mat::BitBsr::from_csr(a);
+  BitBsrDecodeCache cache;
+  {
+    const EnvGuard g("SPADEN_SIM_DECODE_CACHE", "0");
+    cache.build_if_enabled(bsr);
+    EXPECT_TRUE(cache.empty());
+    EXPECT_EQ(cache.get(), nullptr);
+  }
+  {
+    const EnvGuard g("SPADEN_SIM_DECODE_CACHE", "1");
+    cache.build_if_enabled(bsr);
+    EXPECT_EQ(cache.empty(), bsr.num_blocks() == 0);
+  }
+}
+
+TEST(DecodeCache, OnOffBitIdentical) {
+  // The determinism contract of BitBsrDecodeCache: the cached decode charges
+  // exactly the same counters and issues exactly the same loads as the
+  // per-bitmap decode, so modeled results and numerics are bit-identical
+  // with the cache on or off. enabled() is read per call, so flipping the
+  // env between prepare() calls flips the path actually taken.
+  const mat::Csr a = mat::load_dataset("conf5", 0.01);
+  RunOut with_cache;
+  RunOut without_cache;
+  {
+    const EnvGuard g("SPADEN_SIM_DECODE_CACHE", "1");
+    with_cache = run_spaden(a);
+  }
+  {
+    const EnvGuard g("SPADEN_SIM_DECODE_CACHE", "0");
+    without_cache = run_spaden(a);
+  }
+  EXPECT_EQ(with_cache.y, without_cache.y);
+  EXPECT_EQ(with_cache.stats, without_cache.stats);
+}
+
+TEST(ArenaPooling, ReusedDeviceMatchesFreshDevice) {
+  // launch() reuses per-warp scratch (scheduler fibers, sanitizer and
+  // profiler shards) across launches on one Device. Reuse must not leak
+  // state: after a cache flush, a second launch on a warmed-up Device is
+  // bit-identical — counters, numerics and the profile report — to the
+  // only launch of a fresh Device.
+  const mat::Csr a = mat::load_dataset("conf5", 0.01);
+  auto profile_json = [](const sim::ProfileReport& p) {
+    JsonWriter w;
+    p.to_json(w);
+    return w.take();
+  };
+
+  // Fresh device, single launch.
+  sim::Device fresh(sim::l40());
+  fresh.set_sim_threads(4);
+  fresh.set_shared_l2(false);
+  fresh.set_profile(true);
+  auto fresh_kernel = make_kernel(Method::Spaden);
+  fresh_kernel->prepare(fresh, a);
+  std::vector<float> x(a.ncols, 0.5f);
+  auto fresh_x = fresh.memory().upload(x);
+  auto fresh_y = fresh.memory().alloc<float>(a.nrows);
+  const sim::LaunchResult fresh_run =
+      fresh_kernel->run(fresh, fresh_x.cspan(), fresh_y.span());
+
+  // Reused device: warm-up launch populates the pools, flush resets the
+  // cache models, then the second launch runs entirely on pooled scratch.
+  sim::Device reused(sim::l40());
+  reused.set_sim_threads(4);
+  reused.set_shared_l2(false);
+  reused.set_profile(true);
+  auto reused_kernel = make_kernel(Method::Spaden);
+  reused_kernel->prepare(reused, a);
+  auto reused_x = reused.memory().upload(x);
+  auto reused_y = reused.memory().alloc<float>(a.nrows);
+  (void)reused_kernel->run(reused, reused_x.cspan(), reused_y.span());
+  reused.flush_caches();
+  const sim::LaunchResult second =
+      reused_kernel->run(reused, reused_x.cspan(), reused_y.span());
+
+  EXPECT_EQ(second.stats, fresh_run.stats);
+  EXPECT_EQ(reused_y.host(), fresh_y.host());
+  EXPECT_EQ(profile_json(second.profile), profile_json(fresh_run.profile));
+}
+
+TEST(CounterInvariance, WorkCountersStableAcrossThreadsAndPolicies) {
+  // Partitioning warps over host threads must not change how much work is
+  // simulated, under either scheduling policy: per-warp work counters are
+  // exact at any thread count (only latency-observation counters like
+  // exposed_stall_cycles may legitimately depend on the partition).
+  const mat::Csr a = mat::load_dataset("conf5", 0.01);
+  for (const sim::SchedConfig cfg :
+       {sim::SchedConfig{sim::SchedPolicy::RoundRobin, 8},
+        sim::SchedConfig{sim::SchedPolicy::Gto, 8}}) {
+    const sim::KernelStats serial = run_spaden(a, /*threads=*/1, cfg).stats;
+    const sim::KernelStats threaded = run_spaden(a, /*threads=*/4, cfg).stats;
+    EXPECT_EQ(serial.warps_launched, threaded.warps_launched);
+    EXPECT_EQ(serial.mem_instructions, threaded.mem_instructions);
+    EXPECT_EQ(serial.lane_loads, threaded.lane_loads);
+    EXPECT_EQ(serial.lane_stores, threaded.lane_stores);
+    EXPECT_EQ(serial.cuda_ops, threaded.cuda_ops);
+    EXPECT_EQ(serial.tc_mma_m16n16k16, threaded.tc_mma_m16n16k16);
+    EXPECT_EQ(serial.shuffle_lane_ops, threaded.shuffle_lane_ops);
+    EXPECT_EQ(serial.wavefronts, threaded.wavefronts);
+  }
+}
+
+}  // namespace
+}  // namespace spaden::kern

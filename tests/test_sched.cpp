@@ -234,9 +234,12 @@ INSTANTIATE_TEST_SUITE_P(Policies, SchedPolicyTest, ::testing::Values(kRr, kGto)
 // ----- fibers + spaden-prof ---------------------------------------------------
 
 TEST(Sched, RangeAttributionExactAcrossSuspension) {
-  // Every gather in "load" is a yield point, so warps suspend mid-range;
+  // Every gather in "load" is a yield point, so warps may suspend mid-range;
   // the partial-interval accounting must still attribute every counter the
-  // launch charged to exactly one range.
+  // launch charged to exactly one range. The one exception is
+  // exposed_stall_cycles: stalls exposed while finished warps drain their
+  // scoreboards happen after the warp body returned, outside every range,
+  // so the launch total may exceed the range sum for that counter only.
   Device device = make_device(kRr);
   device.set_profile(true);
   const auto result = run_two_phase(device);
@@ -253,13 +256,17 @@ TEST(Sched, RangeAttributionExactAcrossSuspension) {
   sum += report.ranges[1].stats;
   KernelStats launch = report.stats;
   launch.warps_launched = 0;
+  EXPECT_GE(launch.exposed_stall_cycles, sum.exposed_stall_cycles);
+  launch.exposed_stall_cycles = sum.exposed_stall_cycles;
   EXPECT_EQ(sum, launch);
 }
 
 TEST(Sched, TimelineSplitsSuspendedWarps) {
   // A suspended warp's residency interval closes and a new one opens on
   // resume, so the rr trace carries more complete slices than the serial
-  // trace (which has exactly warp + "load" + "compute" per warp).
+  // trace (which has exactly one warp slice per warp). The reuse kernel
+  // streams enough cold DRAM lines per warp to fill the per-warp scoreboard
+  // and force genuine suspensions.
   auto x_events = [](const std::string& trace) {
     std::size_t n = 0;
     for (std::size_t pos = trace.find("\"ph\":\"X\""); pos != std::string::npos;
@@ -270,14 +277,14 @@ TEST(Sched, TimelineSplitsSuspendedWarps) {
   };
   Device serial = make_device(kSerial);
   serial.set_profile(true);
-  run_two_phase(serial);
+  run_reuse(serial, 16, 16 * kWarpSize, 1);
   Device rr = make_device(kRr);
   rr.set_profile(true);
-  run_two_phase(rr);
+  run_reuse(rr, 16, 16 * kWarpSize, 1);
   const std::string serial_trace = chrome_trace_json(serial.profile_log());
   const std::string rr_trace = chrome_trace_json(rr.profile_log());
-  EXPECT_EQ(x_events(serial_trace), 16u * 3u);
-  EXPECT_GT(x_events(rr_trace), 16u * 3u);
+  EXPECT_EQ(x_events(serial_trace), 16u);
+  EXPECT_GT(x_events(rr_trace), 16u);
   EXPECT_NE(rr_trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
 }
 
@@ -364,6 +371,23 @@ TEST(SharedL2, MatchesMonolithicCacheExactly) {
   }
   EXPECT_EQ(sharded.hits(), mono.hits());
   EXPECT_EQ(sharded.misses(), mono.misses());
+}
+
+TEST(SharedL2, StripeCountInvariant) {
+  // max_stripes only picks the lock granularity (a single-threaded device
+  // passes 1 for host-side locality); classification must not notice.
+  SharedL2 flat(1 << 20, 16, 32, /*max_stripes=*/1);
+  SharedL2 sharded(1 << 20, 16, 32);
+  ASSERT_EQ(flat.stripes(), 1);
+  ASSERT_GT(sharded.stripes(), 1);
+  std::uint64_t state = 0x243F6A8885A308D3ull;
+  for (int i = 0; i < 200'000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t addr = (state >> 17) % (8u << 20);
+    EXPECT_EQ(flat.access(addr), sharded.access(addr)) << "access " << i;
+  }
+  EXPECT_EQ(flat.hits(), sharded.hits());
+  EXPECT_EQ(flat.misses(), sharded.misses());
 }
 
 TEST(SharedL2, SingleThreadBitIdenticalToSliceL2) {
@@ -541,18 +565,19 @@ KernelStats run_one_line_per_warp(Device& device, std::uint64_t warps) {
 }
 
 TEST(Stall, HandScheduleExposesOneDramLatency) {
-  // Two warps, two-warp window: warp 0's DRAM miss is covered only by the
-  // few cycles it takes to issue warp 1's load (cost c), leaving L - c
-  // exposed; warp 1's own tail then exposes the remaining ~c once warp 0
-  // drains. The issue cost cancels: total exposed ~= one effective dram
-  // latency (the raw cycles over the per-warp memory-parallelism credit).
+  // Two warps, two-warp window, one DRAM load each: neither warp fills its
+  // scoreboard, so both bodies run back to back and the loads drain after
+  // the last body returns. Warp 0's miss is covered only by the few cycles
+  // it takes to issue warp 1's load (cost c), leaving L - c exposed; warp
+  // 1's drain then exposes the remaining ~c. The issue cost cancels: total
+  // exposed ~= one raw dram latency (the scoreboard model charges per-level
+  // latencies undivided — parallelism is the slots themselves).
   Device serial = make_device(kSerial);
   EXPECT_EQ(run_one_line_per_warp(serial, 2).exposed_stall_cycles, 0u);
 
   Device rr = make_device({SchedPolicy::RoundRobin, 2});
   const DeviceSpec spec = l40();
-  const auto latency = static_cast<std::uint64_t>(
-      static_cast<double>(spec.dram_latency_cycles) / spec.mem_parallelism_ilv);
+  const std::uint64_t latency = spec.dram_latency_cycles;
   const std::uint64_t exposed = run_one_line_per_warp(rr, 2).exposed_stall_cycles;
   EXPECT_GE(exposed, latency - 64);
   EXPECT_LE(exposed, latency);
@@ -567,10 +592,11 @@ TEST(Stall, EstimateTimeAddsStallTerm) {
   EXPECT_EQ(base.t_stall, 0.0);
 
   // Stall cycles spread over min(warps, sm_count) SMs — a 4-warp launch
-  // keeps 4 virtual SMs busy, so that is the divisor, not the full device.
+  // keeps 4 virtual SMs busy, so that is the divisor, not the full device —
+  // derated by the calibrated exposure fraction (stall_exposure_ilv).
   stats.exposed_stall_cycles = 5'000'000;
   const TimeBreakdown stalled = estimate_time(spec, stats);
-  const double expected = 5e6 / (4.0 * spec.clock_ghz * 1e9);
+  const double expected = 5e6 * spec.stall_exposure_ilv / (4.0 * spec.clock_ghz * 1e9);
   EXPECT_DOUBLE_EQ(stalled.t_stall, expected);
   EXPECT_DOUBLE_EQ(stalled.total, base.total + expected);
   EXPECT_STREQ(stalled.bound_by(), "stall");

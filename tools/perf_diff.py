@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare spaden-bench-v1 JSON exports and fail on GFLOPS regressions.
+"""Compare spaden-bench JSON exports and fail on GFLOPS regressions.
 
 CI uses this to diff every run's BENCH_*.json against the previous run's
 artifact, so a change that silently degrades a kernel's *modeled* GFLOPS
@@ -7,13 +7,21 @@ artifact, so a change that silently degrades a kernel's *modeled* GFLOPS
 build instead of drifting until someone re-reads the figures.
 
     perf_diff.py BASELINE CURRENT [--tolerance 0.02] [--skip-method NAME]...
+                 [--host-metrics]
 
-BASELINE and CURRENT are either two spaden-bench-v1 files, or two
+BASELINE and CURRENT are either two spaden-bench-v1/-v2 files (the schemas
+mix freely — v2 only adds per-run host throughput fields), or two
 directories: in directory mode every BENCH_*.json in CURRENT is matched to
 the baseline file of the same name and diffed figure by figure (figures
 without runs, e.g. metric-only exports like sched_partition, compare their
 named metrics instead). A figure present on one side only is reported but
 never fails the diff — new benches need one run to seed their baseline.
+
+--host-metrics additionally prints, per figure, the host-side simulator
+throughput ratio (host_warps_per_sec, v2 exports only): per-figure geomean
+with min/max, so interpreter speedups/regressions are reproducible from CI
+artifacts instead of stderr scraping. Host wall-clock depends on the
+machine, so this mode is informational and never affects the exit code.
 
 Within a figure, runs are matched by (method, device, matrix). A current
 run whose gflops is more than `tolerance` below the baseline's is a
@@ -29,14 +37,17 @@ Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage/IO error.
 
 import argparse
 import json
+import math
 import os
 import sys
+
+KNOWN_SCHEMAS = ("spaden-bench-v1", "spaden-bench-v2")
 
 
 def load_runs(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "spaden-bench-v1":
+    if doc.get("schema") not in KNOWN_SCHEMAS:
         sys.exit(f"error: {path}: unexpected schema {doc.get('schema')!r}")
     return doc
 
@@ -45,7 +56,31 @@ def key_of(run):
     return (run["method"], run["device"], run["matrix"])
 
 
-def diff_documents(name, base_doc, curr_doc, tolerance, skip_methods):
+def host_metrics(name, base, curr):
+    """Informational host-throughput comparison (spaden-bench-v2 runs)."""
+    ratios = []
+    threads = set()
+    for key in sorted(base.keys() & curr.keys()):
+        old = base[key].get("host_warps_per_sec", 0)
+        new = curr[key].get("host_warps_per_sec", 0)
+        if old > 0 and new > 0:
+            ratios.append(new / old)
+            threads.add((base[key].get("sim_threads"), curr[key].get("sim_threads")))
+    if not ratios:
+        print(f"{name}: host      no comparable host_warps_per_sec "
+              "(need spaden-bench-v2 on both sides)")
+        return
+    geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"{name}: host      warps/s geomean {geo:.2f}x "
+          f"(min {min(ratios):.2f}x, max {max(ratios):.2f}x, {len(ratios)} runs)")
+    mismatched = {t for t in threads if t[0] != t[1]}
+    if mismatched:
+        print(f"{name}: host      note: sim_threads differ between sides "
+              f"({sorted(mismatched)}); ratios mix thread counts")
+
+
+def diff_documents(name, base_doc, curr_doc, tolerance, skip_methods,
+                   show_host_metrics=False):
     """Diff one figure. Returns (compared, regressions) counts."""
     if base_doc.get("scale") != curr_doc.get("scale"):
         print(
@@ -80,6 +115,9 @@ def diff_documents(name, base_doc, curr_doc, tolerance, skip_methods):
     for key, old, new, delta in regressions:
         print(f"{name}: REGRESSED {'/'.join(key):<45} {old:8.1f} -> {new:8.1f} ({delta:+.1%})")
 
+    if show_host_metrics and (base or curr):
+        host_metrics(name, base, curr)
+
     # Metric-only figures (no per-matrix runs) still carry comparable
     # numbers — report their drift so e.g. an imbalance jump is visible.
     if not base and not curr:
@@ -112,6 +150,11 @@ def main():
         metavar="NAME",
         help="exclude a method from comparison (repeatable)",
     )
+    parser.add_argument(
+        "--host-metrics",
+        action="store_true",
+        help="also report host warps/s ratios (informational, never fails)",
+    )
     args = parser.parse_args()
 
     pairs = []  # (figure name, baseline path, current path)
@@ -139,7 +182,7 @@ def main():
     for name, base_path, curr_path in pairs:
         compared, regressed = diff_documents(
             name, load_runs(base_path), load_runs(curr_path), args.tolerance,
-            args.skip_method)
+            args.skip_method, args.host_metrics)
         total_compared += compared
         total_regressions += regressed
 
