@@ -27,6 +27,11 @@ struct SpmvEngine::Impl {
     device.set_sched(options.sched);
     device.set_shared_l2(options.shared_l2);
     kernel->prepare(device, matrix);
+    if (options.verify_format) {
+      const san::FormatReport report = kernel->check_format();
+      SPADEN_REQUIRE(report.ok(), "uploaded %s format fails verification:\n%s",
+                     report.format.c_str(), report.summary().c_str());
+    }
     prep.seconds = kernel->prep_seconds();
     prep.ns_per_nnz = matrix.nnz() == 0
                           ? 0.0
@@ -78,6 +83,8 @@ SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>&
   result.profiles = impl_->device.profile_log();
   return result;
 }
+
+san::FormatReport SpmvEngine::check_format() const { return impl_->kernel->check_format(); }
 
 kern::Method SpmvEngine::chosen_method() const { return impl_->method; }
 const PrepInfo& SpmvEngine::prep() const { return impl_->prep; }

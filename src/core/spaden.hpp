@@ -55,6 +55,10 @@ struct EngineOptions {
   /// (including "0"); otherwise the engine defaults to the shared L2 the
   /// interleaved timing constants were calibrated for.
   bool shared_l2 = sim::default_engine_shared_l2();
+  /// Run spaden-verify (matrix/verify.hpp) over the uploaded device-resident
+  /// format right after prepare() and throw spaden::Error on any structural
+  /// violation. Defaults to the SPADEN_VERIFY_FORMAT env var.
+  bool verify_format = san::default_verify_format();
 };
 
 /// Result of one multiply.
@@ -97,6 +101,11 @@ class SpmvEngine {
   [[nodiscard]] mat::Index nrows() const;
   [[nodiscard]] mat::Index ncols() const;
   [[nodiscard]] std::size_t nnz() const;
+
+  /// spaden-verify sweep over the kernel's uploaded format, on demand (also
+  /// runs automatically after preparation when EngineOptions::verify_format
+  /// is set, throwing on violations).
+  [[nodiscard]] san::FormatReport check_format() const;
 
   /// The paper's method-selection heuristic (§5.1).
   static kern::Method auto_select(const mat::Csr& a);

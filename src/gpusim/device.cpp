@@ -5,15 +5,16 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace spaden::sim {
 
 int default_sim_threads() {
   if (const char* env = std::getenv("SPADEN_SIM_THREADS")) {
-    const int requested = std::atoi(env);
-    SPADEN_REQUIRE(requested >= 1 && requested <= 256,
-                   "SPADEN_SIM_THREADS=%s out of [1, 256]", env);
-    return requested;
+    const std::optional<long> requested = parse_long(env);
+    SPADEN_REQUIRE(requested && *requested >= 1 && *requested <= 256,
+                   "SPADEN_SIM_THREADS=%s is not an integer in [1, 256]", env);
+    return static_cast<int>(*requested);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

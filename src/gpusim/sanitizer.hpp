@@ -7,11 +7,18 @@
 //                between buffers act as redzones, freed buffers diagnose as
 //                use-after-free, and shadow valid bits flag reads of device
 //                memory that was never written (alloc_undef allocations).
-//  * racecheck — per-launch access events are analyzed for conflicting
-//                non-atomic accesses to the same bytes from different warps
-//                (the simulator gives warps no ordering, exactly like CUDA),
-//                and for same-warp write-after-write overlap between
-//                divergent lanes of a single store instruction.
+//  * racecheck — a happens-before race detector (FastTrack-style per-warp
+//                epochs over a canonical warp-major schedule). Two accesses
+//                to the same byte from different warps race when at least
+//                one is a non-atomic write — or one is an atomic and the
+//                other a plain access — and no happens-before path orders
+//                them. HB edges come from program order within a warp, from
+//                launch boundaries (analysis is per launch), and from
+//                same-address atomic release/acquire chains. Every finding
+//                carries a witness pair: both instructions (per-warp op
+//                ordinals), warps, lanes, and the labeled buffer + offset.
+//                A same-warp write-after-write overlap between divergent
+//                lanes of a single store instruction is flagged separately.
 //  * sync-lint — shuffles whose source lane is inactive under the executing
 //                mask (undefined in CUDA), and sync_warp barriers that lanes
 //                active in the preceding instruction do not arrive at.
@@ -45,12 +52,24 @@ inline constexpr std::size_t kSanKindCount = 6;
 
 [[nodiscard]] const char* san_kind_name(SanKind k);
 
+/// Absent-warp sentinel for SanDiag witness fields.
+inline constexpr std::uint64_t kSanNoWarp = ~std::uint64_t{0};
+
 /// One formatted finding. `warp` is the primary (first observed) warp and
-/// `addr` the device address, when the detector has one.
+/// `addr` the device address, when the detector has one. Race findings
+/// additionally carry the full witness pair: `warp`/`op`/`lane` identify the
+/// canonically-earlier access and `warp2`/`op2`/`lane2` the conflicting one,
+/// where `op` is the per-warp ordinal of the recorded memory/sync operation
+/// (independent of SPADEN_SIM_THREADS and scheduler policy).
 struct SanDiag {
   SanKind kind = SanKind::OobAccess;
   std::uint64_t warp = 0;
   std::uint64_t addr = 0;
+  std::uint64_t warp2 = kSanNoWarp;  ///< second witness warp (races only)
+  std::uint32_t op = 0;              ///< per-warp op ordinal of the first access
+  std::uint32_t op2 = 0;             ///< per-warp op ordinal of the second access
+  std::uint8_t lane = 0;
+  std::uint8_t lane2 = 0;
   std::string message;
 };
 
@@ -75,7 +94,10 @@ struct SanitizerReport {
   [[nodiscard]] std::string summary() const;
 };
 
-enum class SanAccess : std::uint8_t { Load = 0, Store, Atomic };
+/// Access class of one recorded event. `Barrier` is a zero-byte marker
+/// event recorded by sync_warp: it advances the warp's epoch counter in the
+/// race detector and is skipped by every other detector.
+enum class SanAccess : std::uint8_t { Load = 0, Store, Atomic, Barrier };
 
 /// One lane's byte range of one warp memory instruction.
 struct SanEvent {
@@ -148,6 +170,8 @@ class SanShard {
   }
 
   void divergent_shuffle(std::uint32_t mask, int lane, std::uint32_t src_lane);
+  /// Barrier: checks lane arrival (sync-lint) and records a Barrier marker
+  /// event so the race detector can advance the warp's epoch.
   void sync_warp(std::uint32_t mask);
 
  private:
@@ -158,6 +182,7 @@ class SanShard {
   struct LintEvent {
     SanKind kind = SanKind::DivergentShuffle;
     std::uint64_t warp = 0;
+    std::uint32_t seq = 0;  ///< shard-local position, for canonical reordering
     std::uint32_t mask = 0;
     std::uint32_t detail = 0;  ///< shuffle: (lane << 8) | src_lane; barrier: prior mask
   };
@@ -177,8 +202,11 @@ class SanShard {
 inline constexpr std::size_t kSanMaxEvents = std::size_t{1} << 21;  // ~50 MB of events
 
 /// Analyze the recorded shards of one launch against the allocation table.
-/// Shards must be ordered by worker index (= ascending warp ranges). Commits
-/// every observed store to the registry's shadow valid bits.
+/// Events are first regrouped into a canonical warp-major schedule (every
+/// warp's stream lives in exactly one shard, so the regrouping — and with it
+/// every verdict and every diagnostic byte — is independent of the shard
+/// count, the warp partition, and the scheduler policy). Commits every
+/// observed store to the registry's shadow valid bits.
 [[nodiscard]] SanitizerReport sanitize_analyze(std::string kernel_name,
                                                std::vector<SanShard>& shards,
                                                AllocRegistry& registry);

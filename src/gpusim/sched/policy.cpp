@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace spaden::sim {
 
@@ -43,10 +44,10 @@ SchedConfig default_sched() {
   }
   std::string spec(env);
   if (const auto colon = spec.find(':'); colon != std::string::npos) {
-    const int window = std::atoi(spec.c_str() + colon + 1);
-    SPADEN_REQUIRE(window >= 1 && window <= 1024,
-                   "SPADEN_SIM_SCHED window in '%s' out of [1, 1024]", env);
-    cfg.window = window;
+    const std::optional<long> window = parse_long(spec.c_str() + colon + 1);
+    SPADEN_REQUIRE(window && *window >= 1 && *window <= 1024,
+                   "SPADEN_SIM_SCHED window in '%s' is not an integer in [1, 1024]", env);
+    cfg.window = static_cast<int>(*window);
     spec.resize(colon);
   }
   cfg.policy = sched_policy_by_name(spec);

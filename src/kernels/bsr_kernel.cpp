@@ -103,6 +103,10 @@ class BsrKernel final : public SpmvKernel {
     });
   }
 
+  [[nodiscard]] san::FormatReport check_format() const override {
+    return bsr_.check(nrows_, ncols_);
+  }
+
   [[nodiscard]] Footprint footprint() const override {
     Footprint fp;
     bsr_.add_footprint(fp);

@@ -160,6 +160,10 @@ class CsrAdaptiveKernel final : public SpmvKernel {
     return result;
   }
 
+  [[nodiscard]] san::FormatReport check_format() const override {
+    return csr_.check(nrows_, ncols_);
+  }
+
   [[nodiscard]] Footprint footprint() const override {
     Footprint fp;
     csr_.add_footprint(fp);

@@ -153,6 +153,10 @@ class CsrVectorKernel final : public SpmvKernel {
     });
   }
 
+  [[nodiscard]] san::FormatReport check_format() const override {
+    return csr_.check(nrows_, ncols_);
+  }
+
   [[nodiscard]] Footprint footprint() const override {
     Footprint fp;
     csr_.add_footprint(fp);

@@ -120,6 +120,10 @@ class CsrWarp16Kernel final : public SpmvKernel {
     });
   }
 
+  [[nodiscard]] san::FormatReport check_format() const override {
+    return csr_.check(nrows_, ncols_);
+  }
+
   [[nodiscard]] Footprint footprint() const override {
     Footprint fp;
     csr_.add_footprint(fp);

@@ -256,6 +256,12 @@ class DaspKernel final : public SpmvKernel {
     return result;
   }
 
+  [[nodiscard]] san::FormatReport check_format() const override {
+    // The tensor-core tiles are a padded private layout with no structural
+    // invariant catalog; the CSR-remainder COO is the checkable part.
+    return short_.check(nrows_, ncols_);
+  }
+
   [[nodiscard]] Footprint footprint() const override {
     Footprint fp;
     fp.add("dasp.group_ptr", group_ptr_.bytes());

@@ -65,4 +65,23 @@ void DeviceBitBsr::add_footprint(Footprint& fp) const {
   fp.add("bitbsr.values", values.bytes());
 }
 
+san::FormatReport DeviceCsr::check(mat::Index nrows, mat::Index ncols) const {
+  return san::check_csr(nrows, ncols, row_ptr.host(), col_idx.host(), val.host().size());
+}
+
+san::FormatReport DeviceCoo::check(mat::Index nrows, mat::Index ncols) const {
+  return san::check_coo(nrows, ncols, row.host(), col.host(), val.host().size(),
+                        /*require_canonical=*/true);
+}
+
+san::FormatReport DeviceBsr::check(mat::Index nrows, mat::Index ncols) const {
+  return san::check_bsr(nrows, ncols, block_dim, block_row_ptr.host(), block_col.host(),
+                        val.host());
+}
+
+san::FormatReport DeviceBitBsr::check(mat::Index nrows, mat::Index ncols) const {
+  return san::check_bitbsr(nrows, ncols, block_row_ptr.host(), block_col.host(),
+                           bitmap.host(), val_offset.host(), values.host().size());
+}
+
 }  // namespace spaden::kern

@@ -10,8 +10,13 @@
 #include "matrix/bsr.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
+#include "matrix/verify.hpp"
 
 namespace spaden::kern {
+
+// Each device format exposes check(nrows, ncols): the spaden-verify
+// structural-invariant sweep over the *uploaded* host mirrors — what
+// SpmvKernel::check_format() and the engine's verify_format gate run.
 
 struct DeviceCsr {
   sim::Buffer<mat::Index> row_ptr;
@@ -20,6 +25,7 @@ struct DeviceCsr {
 
   static DeviceCsr upload(sim::DeviceMemory& mem, const mat::Csr& a);
   void add_footprint(Footprint& fp) const;
+  [[nodiscard]] san::FormatReport check(mat::Index nrows, mat::Index ncols) const;
 };
 
 struct DeviceCoo {
@@ -29,6 +35,9 @@ struct DeviceCoo {
 
   static DeviceCoo upload(sim::DeviceMemory& mem, const mat::Coo& a);
   void add_footprint(Footprint& fp) const;
+  /// The edge-centric kernels assume (row, col)-sorted triplets, so the
+  /// check demands canonical order.
+  [[nodiscard]] san::FormatReport check(mat::Index nrows, mat::Index ncols) const;
 };
 
 struct DeviceBsr {
@@ -40,6 +49,7 @@ struct DeviceBsr {
 
   static DeviceBsr upload(sim::DeviceMemory& mem, const mat::Bsr& a);
   void add_footprint(Footprint& fp) const;
+  [[nodiscard]] san::FormatReport check(mat::Index nrows, mat::Index ncols) const;
 };
 
 struct DeviceBitBsr {
@@ -52,6 +62,7 @@ struct DeviceBitBsr {
 
   static DeviceBitBsr upload(sim::DeviceMemory& mem, const mat::BitBsr& a);
   void add_footprint(Footprint& fp) const;
+  [[nodiscard]] san::FormatReport check(mat::Index nrows, mat::Index ncols) const;
 };
 
 }  // namespace spaden::kern

@@ -81,6 +81,10 @@ class GunrockKernel final : public SpmvKernel {
     return push;
   }
 
+  [[nodiscard]] san::FormatReport check_format() const override {
+    return coo_.check(nrows_, ncols_);
+  }
+
   [[nodiscard]] Footprint footprint() const override {
     Footprint fp;
     coo_.add_footprint(fp);

@@ -78,6 +78,12 @@ void SpmvKernel::prepare(sim::Device& device, const mat::Csr& a) {
   prep_seconds_ = timer.seconds();
 }
 
+san::FormatReport SpmvKernel::check_format() const {
+  san::FormatReport report;
+  report.format = "(no uploaded sparse format)";
+  return report;
+}
+
 double spmv_tolerance(const mat::Csr& a, bool half_precision_values) {
   mat::Index max_row = 1;
   for (mat::Index r = 0; r < a.nrows; ++r) {

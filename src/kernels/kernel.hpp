@@ -33,6 +33,7 @@
 
 #include "gpusim/device.hpp"
 #include "matrix/csr.hpp"
+#include "matrix/verify.hpp"
 
 namespace spaden::kern {
 
@@ -93,6 +94,13 @@ class SpmvKernel {
                                               sim::DSpan<float> y) = 0;
 
   [[nodiscard]] virtual Footprint footprint() const = 0;
+
+  /// spaden-verify: structural-invariant sweep over the *uploaded*
+  /// device-resident format (see matrix/verify.hpp for the catalog). Runs
+  /// after prepare(); the gate every future in-place mutation of a prepared
+  /// matrix must re-run. The base implementation reports an empty, clean
+  /// sweep for kernels without an uploaded sparse format.
+  [[nodiscard]] virtual san::FormatReport check_format() const;
 
   [[nodiscard]] double prep_seconds() const { return prep_seconds_; }
   [[nodiscard]] mat::Index nrows() const { return nrows_; }

@@ -237,6 +237,10 @@ class SpadenKernel final : public SpmvKernel {
     });
   }
 
+  [[nodiscard]] san::FormatReport check_format() const override {
+    return bitbsr_.check(nrows_, ncols_);
+  }
+
   [[nodiscard]] Footprint footprint() const override {
     Footprint fp;
     bitbsr_.add_footprint(fp);

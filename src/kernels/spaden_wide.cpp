@@ -161,6 +161,13 @@ class SpadenWideKernel final : public SpmvKernel {
     });
   }
 
+  [[nodiscard]] san::FormatReport check_format() const override {
+    return san::check_bitbsr_wide(nrows_, ncols_, dev_.block_row_ptr.host(),
+                                  dev_.block_col.host(), dev_.bitmap.host().data(),
+                                  dev_.bitmap.host().size(), dev_.val_offset.host(),
+                                  dev_.values.host().size());
+  }
+
   [[nodiscard]] Footprint footprint() const override {
     Footprint fp;
     fp.add("bitbsr16.block_row_ptr", dev_.block_row_ptr.bytes());

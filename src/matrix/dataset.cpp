@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace spaden::mat {
 
@@ -91,9 +92,10 @@ Csr load_dataset(const std::string& name, double scale) {
 
 double bench_scale() {
   if (const char* env = std::getenv("SPADEN_SCALE")) {
-    const double s = std::atof(env);
-    SPADEN_REQUIRE(s > 0.0 && s <= 1.0, "SPADEN_SCALE=%s out of (0, 1]", env);
-    return s;
+    const std::optional<double> s = parse_double(env);
+    SPADEN_REQUIRE(s && *s > 0.0 && *s <= 1.0, "SPADEN_SCALE=%s is not a number in (0, 1]",
+                   env);
+    return *s;
   }
   return 0.25;  // default: figures complete in minutes; see dataset.hpp
 }

@@ -179,8 +179,16 @@ TEST(Sancheck, StoreRacingAnotherWarpsLoad) {
       (void)ctx.scalar_load(y.cspan(), 2);
     }
   });
-  EXPECT_EQ(result.sanitizer.count(SanKind::InterWarpRace), 1u);
-  EXPECT_TRUE(any_message_contains(result.sanitizer, "racing a load"));
+  ASSERT_EQ(result.sanitizer.count(SanKind::InterWarpRace), 1u);
+  // The witness pair names both instructions: the store in warp 0 and the
+  // load in warp 1, with per-warp op ordinals and lanes.
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "warps 0 and 1"));
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "plain store by warp 0 (op 0"));
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "plain load by warp 1 (op 0"));
+  const SanDiag& d = result.sanitizer.diagnostics.front();
+  EXPECT_EQ(d.warp, 0u);
+  EXPECT_EQ(d.warp2, 1u);
+  EXPECT_NE(d.warp2, kSanNoWarp);
 }
 
 TEST(Sancheck, StoreRacingAnotherWarpsAtomic) {
@@ -193,8 +201,123 @@ TEST(Sancheck, StoreRacingAnotherWarpsAtomic) {
       ctx.atomic_add(y.span(), make_lanes<std::uint32_t>(1), make_lanes(1.0f), 0x1u);
     }
   });
+  ASSERT_EQ(result.sanitizer.count(SanKind::InterWarpRace), 1u);
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "plain store by warp 0"));
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "atomic by warp 1"));
+}
+
+TEST(Sancheck, AtomicStoreRacingPlainLoad) {
+  // The pre-HB heuristic only flagged plain-store/atomic mixes; an atomic
+  // *writer* racing a plain *reader* (no plain store anywhere) slipped
+  // through entirely. FastTrack treats the atomic as a write: unordered
+  // plain load of the same element is a race.
+  Device device = make_device();
+  auto y = device.memory().alloc<float>(8, "y");
+  const auto result = device.launch("atomic_vs_load", 2, [&](WarpCtx& ctx, std::uint64_t w) {
+    if (w == 0) {
+      ctx.atomic_add(y.span(), make_lanes<std::uint32_t>(3), make_lanes(1.0f), 0x1u);
+    } else {
+      (void)ctx.scalar_load(y.cspan(), 3);
+    }
+  });
+  ASSERT_EQ(result.sanitizer.count(SanKind::InterWarpRace), 1u);
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "atomic by warp 0"));
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "plain load by warp 1"));
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "'y'"));
+  const SanDiag& d = result.sanitizer.diagnostics.front();
+  EXPECT_EQ(d.warp, 0u);
+  EXPECT_EQ(d.warp2, 1u);
+}
+
+TEST(Sancheck, WriteAfterReadAcrossWarps) {
+  // Reader in a lower warp, writer in a higher one: the canonical schedule
+  // replays the load first, so this exercises the read-shadow (rather than
+  // the write-shadow) side of the detector.
+  Device device = make_device();
+  auto y = device.memory().upload(std::vector<float>(8, 1.0f), "y");
+  const auto result = device.launch("load_then_store", 2, [&](WarpCtx& ctx, std::uint64_t w) {
+    if (w == 0) {
+      (void)ctx.scalar_load(y.cspan(), 4);
+    } else {
+      ctx.scalar_store(y.span(), 4, 2.0f);
+    }
+  });
+  ASSERT_EQ(result.sanitizer.count(SanKind::InterWarpRace), 1u);
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "plain load by warp 0"));
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "plain store by warp 1"));
+}
+
+TEST(Sancheck, AtomicHandoffIsOrderedByReleaseAcquire) {
+  // The flag pattern: warp 0 publishes data then touches an atomic flag;
+  // warp 1 touches the same flag, then reads the data. The same-address
+  // atomic pair forms a release/acquire happens-before edge, so the plain
+  // store and plain load are ordered — not a race. (The old heuristic
+  // flagged exactly this as store-racing-atomic.)
+  Device device = make_device();
+  auto data = device.memory().alloc<float>(8, "data");
+  auto flag = device.memory().alloc<float>(1, "flag");
+  const auto result = device.launch("handoff", 2, [&](WarpCtx& ctx, std::uint64_t w) {
+    if (w == 0) {
+      ctx.scalar_store(data.span(), 0, 7.0f);
+      ctx.atomic_add(flag.span(), make_lanes<std::uint32_t>(0), make_lanes(1.0f), 0x1u);
+    } else {
+      ctx.atomic_add(flag.span(), make_lanes<std::uint32_t>(0), make_lanes(1.0f), 0x1u);
+      (void)ctx.scalar_load(data.cspan(), 0);
+    }
+  });
+  EXPECT_TRUE(result.sanitizer.clean()) << result.sanitizer.summary();
+}
+
+TEST(Sancheck, UnrelatedAtomicDoesNotHideARace) {
+  // Same shape as the handoff, but the two warps use *different* flag
+  // elements: no release/acquire chain connects them, so the data race is
+  // real and must be reported even though both warps perform atomics.
+  Device device = make_device();
+  auto data = device.memory().alloc<float>(8, "data");
+  auto flag = device.memory().alloc<float>(2, "flag");
+  const auto result = device.launch("fake_handoff", 2, [&](WarpCtx& ctx, std::uint64_t w) {
+    if (w == 0) {
+      ctx.scalar_store(data.span(), 0, 7.0f);
+      ctx.atomic_add(flag.span(), make_lanes<std::uint32_t>(0), make_lanes(1.0f), 0x1u);
+    } else {
+      ctx.atomic_add(flag.span(), make_lanes<std::uint32_t>(1), make_lanes(1.0f), 0x1u);
+      (void)ctx.scalar_load(data.cspan(), 0);
+    }
+  });
+  ASSERT_EQ(result.sanitizer.count(SanKind::InterWarpRace), 1u);
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "'data'"));
+  EXPECT_TRUE(any_message_contains(result.sanitizer, "no happens-before edge"));
+}
+
+TEST(Sancheck, LaunchBoundaryOrdersAccesses) {
+  // A kernel launch is a global happens-before edge: producer/consumer
+  // pairs split across launches never race, whatever the warp ids.
+  Device device = make_device();
+  auto y = device.memory().alloc<float>(8, "y");
+  (void)device.launch("producer", 2, [&](WarpCtx& ctx, std::uint64_t w) {
+    ctx.scalar_store(y.span(), w, static_cast<float>(w));
+  });
+  (void)device.launch("consumer", 2, [&](WarpCtx& ctx, std::uint64_t w) {
+    (void)ctx.scalar_load(y.cspan(), 1 - w);  // cross-warp relative to producer
+  });
+  EXPECT_TRUE(device.sanitizer_log().clean()) << device.sanitizer_log().summary();
+}
+
+TEST(Sancheck, SyncWarpDoesNotOrderAcrossWarps) {
+  // sync_warp is an intra-warp barrier (__syncwarp), not a grid barrier: a
+  // race between two warps is still a race when both sides "synchronize".
+  Device device = make_device();
+  auto y = device.memory().alloc<float>(8, "y");
+  const auto result = device.launch("false_fence", 2, [&](WarpCtx& ctx, std::uint64_t w) {
+    if (w == 0) {
+      ctx.scalar_store(y.span(), 0, 1.0f);
+      ctx.sync_warp(kFullMask);
+    } else {
+      ctx.sync_warp(kFullMask);
+      (void)ctx.scalar_load(y.cspan(), 0);
+    }
+  });
   EXPECT_EQ(result.sanitizer.count(SanKind::InterWarpRace), 1u);
-  EXPECT_TRUE(any_message_contains(result.sanitizer, "racing an atomic"));
 }
 
 TEST(Sancheck, DisjointWarpOutputsDoNotRace) {
@@ -233,6 +356,53 @@ TEST(Sancheck, RaceReportDeterministicAcrossThreadCounts) {
   ASSERT_EQ(reports[0].diagnostics.size(), reports[1].diagnostics.size());
   for (std::size_t i = 0; i < reports[0].diagnostics.size(); ++i) {
     EXPECT_EQ(reports[0].diagnostics[i].message, reports[1].diagnostics[i].message);
+  }
+}
+
+TEST(Sancheck, RaceReportDeterministicAcrossSchedPolicies) {
+  // The detector replays the canonical warp-major schedule, so the report is
+  // a pure function of the program — byte-identical under every scheduler.
+  std::vector<SanitizerReport> reports;
+  for (const char* policy : {"serial", "rr", "gto"}) {
+    Device device = make_device(true, 4);
+    SchedConfig sched;
+    sched.policy = sched_policy_by_name(policy);
+    device.set_sched(sched);
+    auto y = device.memory().alloc<float>(16, "y");
+    const auto result = device.launch("racy_store", 8, [&](WarpCtx& ctx, std::uint64_t w) {
+      ctx.scalar_store(y.span(), w % 4, static_cast<float>(w));
+    });
+    reports.push_back(result.sanitizer);
+  }
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[0].counts, reports[i].counts);
+    ASSERT_EQ(reports[0].diagnostics.size(), reports[i].diagnostics.size());
+    for (std::size_t j = 0; j < reports[0].diagnostics.size(); ++j) {
+      EXPECT_EQ(reports[0].diagnostics[j].message, reports[i].diagnostics[j].message);
+    }
+  }
+}
+
+TEST(Sancheck, FuzzShippedKernelsCleanUnderEverySchedPolicy) {
+  // Seeded sweep: every kernel under every scheduling policy must come back
+  // with zero findings. A failure here is either a real kernel bug or a
+  // schedule-dependency in the detector — both are release blockers.
+  const mat::Csr a = mat::Csr::from_coo(mat::random_uniform(400, 400, 9000, 23));
+  for (const char* policy : {"serial", "rr", "gto"}) {
+    for (const kern::Method m : kern::all_methods()) {
+      EngineOptions options;
+      options.method = m;
+      options.sanitize = true;
+      options.sched.policy = sched_policy_by_name(policy);
+      SpmvEngine engine(a, options);
+      std::vector<float> x(a.ncols, 0.5f);
+      std::vector<float> y;
+      const SpmvResult r = engine.multiply(x, y);
+      EXPECT_TRUE(r.sanitizer.enabled);
+      EXPECT_TRUE(r.sanitizer.clean()) << policy << " / "
+                                       << std::string(kern::method_name(m)) << ":\n"
+                                       << r.sanitizer.summary();
+    }
   }
 }
 

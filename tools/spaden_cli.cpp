@@ -4,6 +4,7 @@
 //   spaden spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]
 //               [--sched serial|rr|gto] [--shared-l2|--no-shared-l2]
 //               [--sancheck] [--profile out.json] [--trace out.json]
+//   spaden verify <matrix>               spaden-verify every format conversion
 //   spaden convert <in.mtx> <out.mtx> [--reorder rcm|degree]
 //   spaden datasets                      list the Table 1 registry
 //   spaden probe                         print the §3 reverse-engineering grids
@@ -18,8 +19,10 @@
 
 #include "analysis/recommend.hpp"
 #include "common/json.hpp"
+#include "common/parse.hpp"
 #include "core/spaden.hpp"
 #include "matrix/matrix.hpp"
+#include "matrix/verify.hpp"
 #include "tensorcore/probe.hpp"
 
 namespace {
@@ -49,6 +52,12 @@ Args parse(int argc, char** argv) {
       SPADEN_REQUIRE(i + 1 < argc, "missing value for %s", flag);
       return argv[++i];
     };
+    auto next_long = [&](const char* flag) {
+      const std::string v = next(flag);
+      const std::optional<long> parsed = parse_long(v.c_str());
+      SPADEN_REQUIRE(parsed.has_value(), "%s expects an integer, got '%s'", flag, v.c_str());
+      return static_cast<int>(*parsed);
+    };
     if (a == "--method") {
       args.method = next("--method");
     } else if (a == "--device") {
@@ -56,11 +65,14 @@ Args parse(int argc, char** argv) {
     } else if (a == "--reorder") {
       args.reorder = next("--reorder");
     } else if (a == "--scale") {
-      args.scale = std::atof(next("--scale").c_str());
+      const std::string v = next("--scale");
+      const std::optional<double> parsed = parse_double(v.c_str());
+      SPADEN_REQUIRE(parsed.has_value(), "--scale expects a number, got '%s'", v.c_str());
+      args.scale = *parsed;
     } else if (a == "--iters") {
-      args.iters = std::atoi(next("--iters").c_str());
+      args.iters = next_long("--iters");
     } else if (a == "--threads") {
-      args.threads = std::atoi(next("--threads").c_str());
+      args.threads = next_long("--threads");
     } else if (a == "--sched") {
       args.sched = next("--sched");
     } else if (a == "--shared-l2") {
@@ -134,7 +146,10 @@ int cmd_spmv(const Args& args) {
   if (!args.sched.empty()) {
     std::string policy = args.sched;
     if (const auto colon = policy.find(':'); colon != std::string::npos) {
-      options.sched.window = std::atoi(policy.c_str() + colon + 1);
+      const std::optional<long> window = parse_long(policy.c_str() + colon + 1);
+      SPADEN_REQUIRE(window.has_value(), "--sched window in '%s' is not an integer",
+                     args.sched.c_str());
+      options.sched.window = static_cast<int>(*window);
       policy.resize(colon);
     }
     options.sched.policy = sim::sched_policy_by_name(policy);
@@ -203,6 +218,28 @@ int cmd_spmv(const Args& args) {
   return findings == 0 ? 0 : 3;
 }
 
+int cmd_verify(const Args& args) {
+  SPADEN_REQUIRE(args.positional.size() >= 2, "usage: spaden verify <matrix>");
+  const mat::Csr a = load_matrix(args.positional[1], args.scale);
+  std::uint64_t violations = 0;
+  auto run = [&](const san::FormatReport& report) {
+    std::fputs(report.summary().c_str(), stdout);
+    violations += report.violation_count;
+  };
+  run(san::check_format(a));
+  run(san::check_format(a.to_coo()));
+  run(san::check_format(mat::Bsr::from_csr(a)));
+  run(san::check_format(mat::BitBsr::from_csr(a)));
+  run(san::check_format(mat::BitBsr16::from_csr(a)));
+  run(san::check_format(mat::BitCoo::from_csr(a)));
+  if (violations != 0) {
+    std::printf("spaden-verify: %llu violation(s) total\n",
+                static_cast<unsigned long long>(violations));
+    return 4;
+  }
+  return 0;
+}
+
 int cmd_convert(const Args& args) {
   SPADEN_REQUIRE(args.positional.size() >= 3,
                  "usage: spaden convert <in> <out.mtx> [--reorder rcm|degree]");
@@ -251,7 +288,7 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.positional.empty()) {
       std::printf(
-          "usage: spaden <info|spmv|convert|datasets|probe> ...\n"
+          "usage: spaden <info|spmv|verify|convert|datasets|probe> ...\n"
           "  info <matrix>                     structure + format recommendation\n"
           "  spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]\n"
           "                [--sched P]       warp scheduling: serial|rr|gto[:window]\n"
@@ -262,6 +299,8 @@ int main(int argc, char** argv) {
           "                [--sancheck]      run under spaden-sancheck (exit 3 on findings)\n"
           "                [--profile F.json] write the spaden-prof report (and print it)\n"
           "                [--trace F.json]   write a chrome://tracing timeline\n"
+          "  verify <matrix>                   run spaden-verify over every format\n"
+          "                                    conversion (exit 4 on violations)\n"
           "  convert <in> <out.mtx> [--reorder rcm|degree]\n"
           "  datasets                          list the Table 1 registry\n"
           "  probe                             print the reverse-engineered layouts\n"
@@ -274,6 +313,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "spmv") {
       return cmd_spmv(args);
+    }
+    if (cmd == "verify") {
+      return cmd_verify(args);
     }
     if (cmd == "convert") {
       return cmd_convert(args);
