@@ -12,8 +12,10 @@
 
 #include "analysis/experiment.hpp"
 #include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "core/telemetry.hpp"
 #include "gpusim/device.hpp"
 #include "matrix/dataset.hpp"
 
@@ -98,6 +100,44 @@ class BenchJson {
     write_text_file(out, w.take());
     std::fprintf(stderr, "[json] wrote %s (%zu runs, %zu metrics)\n", out.c_str(),
                  runs_.size(), metrics_.size());
+    if (default_telemetry()) {
+      write_metrics();
+    }
+  }
+
+  /// spaden-telemetry funnel (SPADEN_TELEMETRY-gated so default bench
+  /// outputs stay bit-identical): every MethodRun feeds per-method/device
+  /// latency histograms, written as METRICS_<experiment>.{json,prom} next to
+  /// the BENCH file. tools/perf_diff.py --metrics trends the p50/p99.
+  void write_metrics() const {
+    met::MetricsRegistry reg;
+    for (const analysis::MethodRun& run : runs_) {
+      met::LabelSet labels{{"method", std::string(kern::method_name(run.method))},
+                           {"device", run.device_name}};
+      reg.counter("spaden_bench_runs_total", labels, "Bench method runs").inc();
+      reg.histogram("spaden_bench_modeled_seconds", labels,
+                    "Modeled seconds of the timed multiply per bench run")
+          .observe(run.modeled_seconds);
+      reg.histogram("spaden_bench_host_seconds", labels,
+                    "Host wall-clock seconds of the timed multiply per bench run")
+          .observe(run.host_seconds);
+      reg.histogram("spaden_bench_convert_host_seconds", labels,
+                    "Host wall-clock seconds of format preparation per bench run")
+          .observe(run.prep_seconds);
+    }
+    const char* dir = std::getenv("SPADEN_BENCH_DIR");
+    const std::string base = dir != nullptr && dir[0] != '\0' ? std::string(dir) : ".";
+    const std::string stem = base + "/METRICS_" + experiment_;
+    JsonWriter w;
+    w.begin_object();
+    w.field("schema", met::kMetricsSchema);
+    w.field("experiment", experiment_);
+    reg.write_json_sections(w, /*include_host=*/true);
+    w.end_object();
+    write_text_file(stem + ".json", w.take());
+    write_text_file(stem + ".prom", reg.prometheus());
+    std::fprintf(stderr, "[json] wrote %s.{json,prom} (%zu metric families)\n",
+                 stem.c_str(), reg.family_count());
   }
 
  private:

@@ -1,0 +1,360 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace spaden::met {
+
+const std::array<double, kTimeBucketCount> kTimeBoundaries = {
+    1e-09, 1.7782794100389228e-09, 3.1622776601683795e-09,
+    5.623413251903492e-09, 1e-08, 1.7782794100389228e-08,
+    3.16227766016838e-08, 5.623413251903491e-08, 1e-07,
+    1.7782794100389227e-07, 3.162277660168379e-07, 5.623413251903491e-07,
+    1e-06, 1.7782794100389227e-06, 3.162277660168379e-06,
+    5.623413251903491e-06, 1e-05, 1.778279410038923e-05,
+    3.1622776601683795e-05, 5.6234132519034914e-05, 0.0001,
+    0.0001778279410038923, 0.000316227766016838, 0.0005623413251903491,
+    0.001, 0.0017782794100389228, 0.0031622776601683794,
+    0.005623413251903491, 0.01, 0.01778279410038923,
+    0.0316227766016838, 0.05623413251903491, 0.1,
+    0.1778279410038923, 0.316227766016838, 0.5623413251903492,
+    1.0, 1.7782794100389228, 3.1622776601683795,
+    5.623413251903491, 10.0, 17.78279410038923,
+    31.622776601683796, 56.234132519034915, 100.0,
+    177.82794100389228, 316.22776601683796, 562.3413251903492,
+    1000.0,
+};
+
+namespace {
+
+/// Shortest representation that round-trips the double — the JsonWriter
+/// format, reused here so Prometheus `le=` strings and JSON boundary values
+/// spell the same number identically.
+std::string format_double(double v) {
+  if (!std::isfinite(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) {
+      break;
+    }
+  }
+  return buf;
+}
+
+/// First bucket whose upper boundary is >= v (overflow -> kTimeBucketCount).
+int bucket_of(double v) {
+  const auto* it = std::lower_bound(kTimeBoundaries.begin(), kTimeBoundaries.end(), v);
+  return static_cast<int>(it - kTimeBoundaries.begin());  // end() = overflow
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::Counter:
+      return "counter";
+    case MetricType::Gauge:
+      return "gauge";
+    case MetricType::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+void append_prometheus_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+LabelSet::LabelSet(std::initializer_list<std::pair<std::string, std::string>> kv) {
+  for (const auto& [k, v] : kv) {
+    set(k, v);
+  }
+}
+
+void LabelSet::set(std::string key, std::string value) {
+  for (auto& [k, v] : kv_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  kv_.emplace_back(std::move(key), std::move(value));
+  std::sort(kv_.begin(), kv_.end());
+}
+
+std::string LabelSet::prometheus() const {
+  if (kv_.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : kv_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(k);
+    out.append("=\"");
+    append_prometheus_escaped(out, v);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+void Histogram::observe(double seconds) {
+  ++buckets_[static_cast<std::size_t>(bucket_of(seconds))];
+  ++count_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const auto rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(clamped * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i <= kTimeBucketCount; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (cumulative >= rank) {
+      // Overflow observations clamp to the last finite boundary.
+      return kTimeBoundaries[static_cast<std::size_t>(std::min(i, kTimeBucketCount - 1))];
+    }
+  }
+  return kTimeBoundaries.back();
+}
+
+double Histogram::quantized_min() const {
+  for (int i = 0; i <= kTimeBucketCount; ++i) {
+    if (buckets_[static_cast<std::size_t>(i)] != 0) {
+      return kTimeBoundaries[static_cast<std::size_t>(std::min(i, kTimeBucketCount - 1))];
+    }
+  }
+  return 0;
+}
+
+double Histogram::quantized_max() const {
+  for (int i = kTimeBucketCount; i >= 0; --i) {
+    if (buckets_[static_cast<std::size_t>(i)] != 0) {
+      return kTimeBoundaries[static_cast<std::size_t>(std::min(i, kTimeBucketCount - 1))];
+    }
+  }
+  return 0;
+}
+
+double Histogram::quantized_sum() const {
+  double sum = 0;
+  for (int i = 0; i <= kTimeBucketCount; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n != 0) {
+      sum += static_cast<double>(n) *
+             kTimeBoundaries[static_cast<std::size_t>(std::min(i, kTimeBucketCount - 1))];
+    }
+  }
+  return sum;
+}
+
+MetricsRegistry::Series& MetricsRegistry::get_or_create(std::string_view name,
+                                                        LabelSet&& labels,
+                                                        std::string_view help,
+                                                        MetricType type) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(name), Family{}).first;
+    it->second.type = type;
+    it->second.help = std::string(help);
+  } else {
+    SPADEN_REQUIRE(it->second.type == type, "metric '%s' re-registered as %s (was %s)",
+                   it->first.c_str(), type_name(type), type_name(it->second.type));
+    if (it->second.help.empty() && !help.empty()) {
+      it->second.help = std::string(help);
+    }
+  }
+  return it->second.series[std::move(labels)];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, LabelSet labels,
+                                  std::string_view help) {
+  return get_or_create(name, std::move(labels), help, MetricType::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, LabelSet labels, std::string_view help) {
+  return get_or_create(name, std::move(labels), help, MetricType::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, LabelSet labels,
+                                      std::string_view help) {
+  return get_or_create(name, std::move(labels), help, MetricType::Histogram).histogram;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, family] : other.families_) {
+    for (const auto& [labels, series] : family.series) {
+      Series& mine = get_or_create(name, LabelSet(labels), family.help, family.type);
+      switch (family.type) {
+        case MetricType::Counter:
+          mine.counter.inc(series.counter.value());
+          break;
+        case MetricType::Gauge:
+          mine.gauge.set(series.gauge.value());
+          break;
+        case MetricType::Histogram:
+          for (int i = 0; i <= kTimeBucketCount; ++i) {
+            // Bucket-wise add keeps every derived statistic consistent.
+            for (std::uint64_t n = series.histogram.bucket_count(i); n > 0; --n) {
+              mine.histogram.observe(
+                  kTimeBoundaries[static_cast<std::size_t>(std::min(i, kTimeBucketCount - 1))]);
+            }
+          }
+          break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json_sections(JsonWriter& w, bool include_host) const {
+  const auto write_section = [&](bool host_section) {
+    w.begin_array();
+    for (const auto& [name, family] : families_) {
+      if (is_host_metric(name) != host_section) {
+        continue;
+      }
+      for (const auto& [labels, series] : family.series) {
+        w.begin_object();
+        w.field("name", name);
+        w.field("type", type_name(family.type));
+        if (!family.help.empty()) {
+          w.field("help", family.help);
+        }
+        if (!labels.empty()) {
+          w.key("labels");
+          w.begin_object();
+          for (const auto& [k, v] : labels.items()) {
+            w.field(k, v);
+          }
+          w.end_object();
+        }
+        switch (family.type) {
+          case MetricType::Counter:
+            w.field("value", series.counter.value());
+            break;
+          case MetricType::Gauge:
+            w.field("value", series.gauge.value());
+            break;
+          case MetricType::Histogram: {
+            const Histogram& h = series.histogram;
+            w.field("count", h.count());
+            w.field("sum", h.quantized_sum());
+            w.field("min", h.quantized_min());
+            w.field("p50", h.quantile(0.50));
+            w.field("p90", h.quantile(0.90));
+            w.field("p99", h.quantile(0.99));
+            w.field("max", h.quantized_max());
+            w.key("buckets");  // non-empty buckets only; le = upper bound
+            w.begin_array();
+            for (int i = 0; i <= kTimeBucketCount; ++i) {
+              if (h.bucket_count(i) == 0) {
+                continue;
+              }
+              w.begin_object();
+              // The overflow bucket serializes le as null (JSON has no Inf).
+              w.field("le", i < kTimeBucketCount
+                                ? kTimeBoundaries[static_cast<std::size_t>(i)]
+                                : std::numeric_limits<double>::infinity());
+              w.field("count", h.bucket_count(i));
+              w.end_object();
+            }
+            w.end_array();
+            break;
+          }
+        }
+        w.end_object();
+      }
+    }
+    w.end_array();
+  };
+  w.key("metrics");
+  write_section(/*host_section=*/false);
+  if (include_host) {
+    w.key("host_metrics");
+    write_section(/*host_section=*/true);
+  }
+}
+
+std::string MetricsRegistry::json(bool include_host, bool pretty) const {
+  JsonWriter w(pretty);
+  w.begin_object();
+  w.field("schema", kMetricsSchema);
+  write_json_sections(w, include_host);
+  w.end_object();
+  return w.take();
+}
+
+std::string MetricsRegistry::prometheus(bool include_host) const {
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!include_host && is_host_metric(name)) {
+      continue;
+    }
+    out.append("# HELP ").append(name).append(" ");
+    out.append(family.help.empty() ? "(no help)" : family.help).append("\n");
+    out.append("# TYPE ").append(name).append(" ").append(type_name(family.type));
+    out.push_back('\n');
+    for (const auto& [labels, series] : family.series) {
+      const std::string lbl = labels.prometheus();
+      switch (family.type) {
+        case MetricType::Counter:
+          out.append(name).append(lbl).append(" ");
+          out.append(std::to_string(series.counter.value())).push_back('\n');
+          break;
+        case MetricType::Gauge:
+          out.append(name).append(lbl).append(" ");
+          out.append(format_double(series.gauge.value())).push_back('\n');
+          break;
+        case MetricType::Histogram: {
+          const Histogram& h = series.histogram;
+          // Cumulative buckets over every boundary, Prometheus-style; the
+          // label set gains le as its last (or only) dimension.
+          std::uint64_t cumulative = 0;
+          for (int i = 0; i <= kTimeBucketCount; ++i) {
+            cumulative += h.bucket_count(i);
+            LabelSet with_le(labels);
+            with_le.set("le", i < kTimeBucketCount
+                                  ? format_double(kTimeBoundaries[static_cast<std::size_t>(i)])
+                                  : "+Inf");
+            out.append(name).append("_bucket").append(with_le.prometheus()).append(" ");
+            out.append(std::to_string(cumulative)).push_back('\n');
+          }
+          out.append(name).append("_sum").append(lbl).append(" ");
+          out.append(format_double(h.quantized_sum())).push_back('\n');
+          out.append(name).append("_count").append(lbl).append(" ");
+          out.append(std::to_string(h.count())).push_back('\n');
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spaden::met

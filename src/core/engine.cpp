@@ -11,6 +11,7 @@ struct SpmvEngine::Impl {
   sim::Device device;
   std::unique_ptr<kern::SpmvKernel> kernel;
   PrepInfo prep;
+  std::unique_ptr<Telemetry> telemetry;  // null unless options.telemetry
   bool verified = false;
 
   Impl(const mat::Csr& a, EngineOptions opts)
@@ -26,18 +27,54 @@ struct SpmvEngine::Impl {
     device.set_profile(options.profile);
     device.set_sched(options.sched);
     device.set_shared_l2(options.shared_l2);
-    kernel->prepare(device, matrix);
-    if (options.verify_format) {
-      const san::FormatReport report = kernel->check_format();
-      SPADEN_REQUIRE(report.ok(), "uploaded %s format fails verification:\n%s",
-                     report.format.c_str(), report.summary().c_str());
+    if (options.telemetry) {
+      telemetry = std::make_unique<Telemetry>();
+      telemetry->set_label("method", std::string(kern::method_name(method)));
+      telemetry->set_label("device", device.spec().name);
+      device.set_launch_log(true);
     }
-    prep.seconds = kernel->prep_seconds();
+
+    // The convert span is PrepInfo's single source of truth: prep.seconds
+    // IS the span's host seconds (and, telemetry on, the same value the
+    // spaden_convert_host_seconds histogram observes).
+    ScopedSpan convert_span(telemetry.get(), "convert");
+    kernel->prepare(device, matrix);
+    prep.seconds = convert_span.close();
     prep.ns_per_nnz = matrix.nnz() == 0
                           ? 0.0
                           : prep.seconds * 1e9 / static_cast<double>(matrix.nnz());
     prep.footprint = kernel->footprint();
     prep.bytes_per_nnz = prep.footprint.bytes_per_nnz(matrix.nnz());
+
+    if (options.verify_format) {
+      ScopedSpan span(telemetry.get(), "verify_format");
+      const san::FormatReport report = kernel->check_format();
+      SPADEN_REQUIRE(report.ok(), "uploaded %s format fails verification:\n%s",
+                     report.format.c_str(), report.summary().c_str());
+      if (telemetry != nullptr) {
+        telemetry->metrics()
+            .counter("spaden_format_verifications_total", telemetry->labels(),
+                     "spaden-verify sweeps over the uploaded format")
+            .inc();
+      }
+    }
+
+    if (telemetry != nullptr) {
+      met::MetricsRegistry& reg = telemetry->metrics();
+      const met::LabelSet& labels = telemetry->labels();
+      reg.gauge("spaden_matrix_rows", labels, "Rows of the engine's matrix")
+          .set(static_cast<double>(matrix.nrows));
+      reg.gauge("spaden_matrix_cols", labels, "Columns of the engine's matrix")
+          .set(static_cast<double>(matrix.ncols));
+      reg.gauge("spaden_matrix_nnz", labels, "Nonzeros of the engine's matrix")
+          .set(static_cast<double>(matrix.nnz()));
+      reg.gauge("spaden_prep_bytes_per_nnz", labels,
+                "Device bytes per nonzero of the prepared format")
+          .set(prep.bytes_per_nnz);
+      reg.gauge("host_convert_ns_per_nnz", labels,
+                "Host conversion nanoseconds per nonzero (wall clock)")
+          .set(prep.ns_per_nnz);
+    }
   }
 };
 
@@ -60,19 +97,36 @@ kern::Method SpmvEngine::auto_select(const mat::Csr& a) {
 SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>& y) {
   SPADEN_REQUIRE(x.size() == impl_->matrix.ncols, "x size %zu != ncols %u", x.size(),
                  impl_->matrix.ncols);
+  Telemetry* tel = impl_->telemetry.get();
+  ScopedSpan multiply_span(tel, "multiply");
   if (impl_->options.verify_first_run && !impl_->verified) {
+    ScopedSpan span(tel, "verify");
     (void)kern::verify_kernel(*impl_->kernel, impl_->device, impl_->matrix);
     impl_->verified = true;
   }
+  ScopedSpan upload_span(tel, "upload");
   auto x_buf = impl_->device.memory().upload(x, "x");
   auto y_buf = impl_->device.memory().alloc<float>(impl_->matrix.nrows, "y");
+  upload_span.close();
   // The device logs accumulate across launches; clearing here scopes the
   // reports to this multiply even for kernels that launch more than once.
   impl_->device.clear_sanitizer_log();
   impl_->device.clear_profile_log();
+  if (tel != nullptr) {
+    impl_->device.clear_launch_log();
+  }
   const sim::LaunchResult launch =
       impl_->kernel->run(impl_->device, x_buf.cspan(), y_buf.span());
+  if (tel != nullptr) {
+    // Launch spans go in here, before the download span opens, so the
+    // stitched timeline keeps chronological order within the multiply.
+    const std::vector<sim::ProfileReport>& profiles = impl_->device.profile_log();
+    tel->record_launches(impl_->device.launch_log(),
+                         profiles.empty() ? nullptr : &profiles);
+  }
+  ScopedSpan download_span(tel, "download");
   y = y_buf.host();
+  download_span.close();
 
   SpmvResult result;
   result.modeled_seconds = launch.seconds();
@@ -81,10 +135,23 @@ SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>&
   result.time = launch.time;
   result.sanitizer = impl_->device.sanitizer_log();
   result.profiles = impl_->device.profile_log();
+  if (tel != nullptr) {
+    met::MetricsRegistry& reg = tel->metrics();
+    reg.counter("spaden_multiplies_total", tel->labels(), "Engine multiply calls").inc();
+    if (result.sanitizer.enabled) {
+      reg.counter("spaden_sanitizer_findings_total", tel->labels(),
+                  "spaden-sancheck findings across all multiplies")
+          .inc(result.sanitizer.total());
+    }
+    multiply_span.set_modeled_seconds(result.modeled_seconds);
+  }
+  multiply_span.close();
   return result;
 }
 
 san::FormatReport SpmvEngine::check_format() const { return impl_->kernel->check_format(); }
+
+const Telemetry* SpmvEngine::telemetry() const { return impl_->telemetry.get(); }
 
 kern::Method SpmvEngine::chosen_method() const { return impl_->method; }
 const PrepInfo& SpmvEngine::prep() const { return impl_->prep; }

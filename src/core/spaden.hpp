@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/kernel.hpp"
 #include "matrix/csr.hpp"
@@ -59,6 +60,12 @@ struct EngineOptions {
   /// format right after prepare() and throw spaden::Error on any structural
   /// violation. Defaults to the SPADEN_VERIFY_FORMAT env var.
   bool verify_format = san::default_verify_format();
+  /// Record spaden-telemetry (core/telemetry): engine phase spans, the
+  /// metrics registry (latency histograms, counters, gauges) and the
+  /// stitched host+device trace. Defaults to the SPADEN_TELEMETRY env var.
+  /// Off, the engine holds no Telemetry and every hook is one null test;
+  /// modeled time is bit-identical either way.
+  bool telemetry = default_telemetry();
 };
 
 /// Result of one multiply.
@@ -106,6 +113,10 @@ class SpmvEngine {
   /// runs automatically after preparation when EngineOptions::verify_format
   /// is set, throwing on violations).
   [[nodiscard]] san::FormatReport check_format() const;
+
+  /// spaden-telemetry recorded by this engine: spans, metrics registry and
+  /// the stitched trace. Null unless EngineOptions::telemetry is set.
+  [[nodiscard]] const Telemetry* telemetry() const;
 
   /// The paper's method-selection heuristic (§5.1).
   static kern::Method auto_select(const mat::Csr& a);

@@ -1,0 +1,305 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "gpusim/device.hpp"
+
+namespace spaden {
+
+bool default_telemetry() {
+  const char* env = std::getenv("SPADEN_TELEMETRY");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+Telemetry::Telemetry() = default;
+
+void Telemetry::set_label(std::string key, std::string value) {
+  labels_.set(std::move(key), std::move(value));
+}
+
+int Telemetry::begin_span(std::string name) {
+  SpanRecord span;
+  span.name = std::move(name);
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.depth = static_cast<int>(open_stack_.size());
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(index);
+  return index;
+}
+
+void Telemetry::close_span(int index, double host_seconds, double modeled_seconds) {
+  assert(!open_stack_.empty() && open_stack_.back() == index);
+  open_stack_.pop_back();
+  SpanRecord& span = spans_[static_cast<std::size_t>(index)];
+  span.host_seconds = host_seconds;
+  span.modeled_seconds = modeled_seconds;
+  span.open = false;
+}
+
+void Telemetry::end_span(int index, double host_seconds, double modeled_seconds) {
+  close_span(index, host_seconds, modeled_seconds);
+  const SpanRecord& span = spans_[static_cast<std::size_t>(index)];
+  registry_
+      .histogram("spaden_" + span.name + "_host_seconds", labels_,
+                 "Host wall-clock seconds spent in this engine phase")
+      .observe(host_seconds);
+  if (modeled_seconds >= 0) {
+    registry_
+        .histogram("spaden_" + span.name + "_modeled_seconds", labels_,
+                   "Modeled device seconds of this engine phase")
+        .observe(modeled_seconds);
+  }
+}
+
+void Telemetry::record_launches(const std::vector<sim::LaunchRecord>& launches,
+                                const std::vector<sim::ProfileReport>* profiles) {
+  // Only the most recent multiply keeps its device timeline: drop the event
+  // buffers of reports retained by earlier calls (their launch spans and
+  // metrics stay — just not the per-warp slices).
+  for (std::size_t i = profiles_kept_from_; i < profiles_.size(); ++i) {
+    profiles_[i].events.clear();
+    profiles_[i].events.shrink_to_fit();
+  }
+  profiles_kept_from_ = profiles_.size();
+
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    const sim::LaunchRecord& rec = launches[i];
+    const int index = begin_span(rec.kernel_name);
+    if (profiles != nullptr && i < profiles->size() && (*profiles)[i].enabled) {
+      spans_[static_cast<std::size_t>(index)].profile_index =
+          static_cast<int>(profiles_.size());
+      profiles_.push_back((*profiles)[i]);
+    }
+    close_span(index, rec.host_seconds, rec.modeled_seconds);
+
+    registry_.counter("spaden_launches_total", labels_, "Kernel launches issued").inc();
+    registry_
+        .counter("spaden_warps_launched_total", labels_, "Warps across all launches")
+        .inc(rec.warps);
+    registry_
+        .histogram("spaden_launch_modeled_seconds", labels_,
+                   "Modeled device seconds per kernel launch")
+        .observe(rec.modeled_seconds);
+    registry_
+        .histogram("spaden_launch_host_seconds", labels_,
+                   "Host wall-clock seconds the simulator spent per launch")
+        .observe(rec.host_seconds);
+  }
+}
+
+double Telemetry::span_native_us(const SpanRecord& s) const {
+  return (s.modeled_seconds >= 0 ? s.modeled_seconds : s.host_seconds) * 1e6;
+}
+
+std::vector<EngineTraceEvent> Telemetry::build_trace() const {
+  const std::size_t n = spans_.size();
+  std::vector<std::vector<int>> kids(n);
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spans_[i].parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      kids[static_cast<std::size_t>(spans_[i].parent)].push_back(static_cast<int>(i));
+    }
+  }
+
+  // Per-span device slices at base 0, so the launch span can stretch to the
+  // slice extent before timestamps are assigned.
+  std::map<int, std::pair<std::vector<sim::TraceSlice>, double>> device;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int pi = spans_[i].profile_index;
+    if (pi < 0) {
+      continue;
+    }
+    const sim::ProfileReport& report = profiles_[static_cast<std::size_t>(pi)];
+    if (report.events.empty()) {
+      continue;
+    }
+    std::vector<sim::TraceSlice> slices;
+    const double extent = sim::collect_launch_slices(report, 0, slices);
+    device.emplace(static_cast<int>(i), std::make_pair(std::move(slices), extent));
+  }
+
+  // Bottom-up span durations: max(native, device extent, Σ children).
+  std::vector<double> dur(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    double d = span_native_us(spans_[i]);
+    if (const auto it = device.find(static_cast<int>(i)); it != device.end()) {
+      d = std::max(d, it->second.second);
+    }
+    double children = 0;
+    for (const int k : kids[i]) {
+      children += dur[static_cast<std::size_t>(k)];
+    }
+    dur[i] = std::max(d, children);
+  }
+
+  // Top-down timestamps: siblings back-to-back starting at the parent's ts.
+  std::vector<double> ts(n, 0);
+  double root_cursor = 0;
+  for (const int r : roots) {
+    ts[static_cast<std::size_t>(r)] = root_cursor;
+    root_cursor += dur[static_cast<std::size_t>(r)];
+  }
+  // kids are in begin order; a preorder walk assigns every child before any
+  // of its own children are visited.
+  for (std::size_t i = 0; i < n; ++i) {
+    double cursor = ts[i];
+    for (const int k : kids[i]) {
+      ts[static_cast<std::size_t>(k)] = cursor;
+      cursor += dur[static_cast<std::size_t>(k)];
+    }
+  }
+
+  std::vector<EngineTraceEvent> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    EngineTraceEvent e;
+    e.name = spans_[i].name;
+    e.pid = kEnginePid;
+    e.tid = 0;
+    e.ts_us = ts[i];
+    e.dur_us = dur[i];
+    e.span = static_cast<int>(i);
+    events.push_back(std::move(e));
+    if (const auto it = device.find(static_cast<int>(i)); it != device.end()) {
+      for (const sim::TraceSlice& s : it->second.first) {
+        EngineTraceEvent d;
+        d.name = s.name;
+        d.pid = kDevicePid;
+        d.tid = s.sm;
+        d.warp = s.warp;
+        d.ts_us = ts[i] + s.ts_us;
+        d.dur_us = s.dur_us;
+        d.span = static_cast<int>(i);
+        events.push_back(std::move(d));
+      }
+    }
+  }
+  return events;
+}
+
+namespace {
+
+void trace_meta(JsonWriter& w, const char* kind, int pid, int tid, const std::string& name) {
+  w.begin_object();
+  w.field("name", kind);
+  w.field("ph", "M");
+  w.field("pid", pid);
+  if (tid >= 0) {
+    w.field("tid", tid);
+  }
+  w.key("args");
+  w.begin_object();
+  w.field("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Telemetry::chrome_trace_json() const {
+  const std::vector<EngineTraceEvent> events = build_trace();
+  JsonWriter w(/*pretty=*/false);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  trace_meta(w, "process_name", kEnginePid, -1, "spaden engine (host)");
+  trace_meta(w, "thread_name", kEnginePid, 0, "engine phases");
+  trace_meta(w, "process_name", kDevicePid, -1, "gpusim device (modeled)");
+  int max_sm = -1;
+  for (const EngineTraceEvent& e : events) {
+    if (e.pid == kDevicePid) {
+      max_sm = std::max(max_sm, e.tid);
+    }
+  }
+  for (int sm = 0; sm <= max_sm; ++sm) {
+    trace_meta(w, "thread_name", kDevicePid, sm, strfmt("virtual SM %d", sm));
+  }
+
+  for (const EngineTraceEvent& e : events) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("ph", "X");
+    w.field("pid", e.pid);
+    w.field("tid", e.tid);
+    w.field("ts", e.ts_us);
+    w.field("dur", e.dur_us);
+    w.key("args");
+    w.begin_object();
+    if (e.pid == kDevicePid) {
+      w.field("warp", e.warp);
+      w.field("clock", "modeled");
+    } else {
+      w.field("span", e.span);
+      w.field("clock", spans_[static_cast<std::size_t>(e.span)].modeled_seconds >= 0
+                           ? "modeled"
+                           : "host");
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.field("generator", "spaden-telemetry");
+  w.field("schema", met::kMetricsSchema);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string Telemetry::metrics_json(bool include_host) const {
+  JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.field("schema", met::kMetricsSchema);
+  registry_.write_json_sections(w, include_host);
+  if (include_host) {
+    // Exact per-phase second totals (not quantized): the CI span-sum check
+    // compares Σ phase spans against the multiply span from these. Exact
+    // doubles are nondeterministic across configs, hence host-gated.
+    struct Agg {
+      std::uint64_t count = 0;
+      double host_seconds = 0;
+      double modeled_seconds = 0;
+    };
+    std::map<std::string, Agg> by_name;
+    for (const SpanRecord& s : spans_) {
+      Agg& a = by_name[s.name];
+      ++a.count;
+      a.host_seconds += s.host_seconds;
+      if (s.modeled_seconds >= 0) {
+        a.modeled_seconds += s.modeled_seconds;
+      }
+    }
+    w.key("spans");
+    w.begin_array();
+    for (const auto& [name, agg] : by_name) {
+      w.begin_object();
+      w.field("name", name);
+      w.field("count", agg.count);
+      w.field("host_seconds", agg.host_seconds);
+      w.field("modeled_seconds", agg.modeled_seconds);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string Telemetry::metrics_prometheus(bool include_host) const {
+  return registry_.prometheus(include_host);
+}
+
+}  // namespace spaden

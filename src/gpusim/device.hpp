@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "gpusim/cache.hpp"
 #include "gpusim/controller.hpp"
 #include "gpusim/device_spec.hpp"
@@ -84,6 +85,19 @@ namespace spaden::sim {
 /// calibrated for (tools/calibrate_sched.py). Raw Device construction keeps
 /// the conservative default_shared_l2() (off unless the env asks).
 [[nodiscard]] bool default_engine_shared_l2();
+
+/// One entry of the Device's opt-in launch log (spaden-telemetry): the
+/// per-launch identity and cost summary the engine turns into launch spans.
+/// Much lighter than a ProfileReport — recording one is a string copy and a
+/// clock read, so the log can stay on for every telemetered multiply
+/// without the profiler's shard machinery.
+struct LaunchRecord {
+  std::string kernel_name;
+  std::uint64_t warps = 0;
+  double modeled_seconds = 0;  ///< TimeBreakdown::total of this launch
+  double t_launch = 0;         ///< fixed launch-overhead share of the above
+  double host_seconds = 0;     ///< host wall-clock the simulator spent on it
+};
 
 /// Result of one kernel launch: measured counters + modeled time.
 struct LaunchResult {
@@ -191,6 +205,16 @@ class Device {
   [[nodiscard]] const std::vector<ProfileReport>& profile_log() const { return prof_log_; }
   void clear_profile_log() { prof_log_.clear(); }
 
+  /// spaden-telemetry launch log: when enabled, every launch appends one
+  /// LaunchRecord (name + modeled/host cost). Off the timing path — the
+  /// hook is one flag test per *launch*, and modeled time is bit-identical
+  /// either way. Parallel to profile_log(): same launches, same order, so
+  /// the engine can pair records with profile reports by index.
+  [[nodiscard]] bool launch_log_enabled() const { return launch_log_enabled_; }
+  void set_launch_log(bool enabled) { launch_log_enabled_ = enabled; }
+  [[nodiscard]] const std::vector<LaunchRecord>& launch_log() const { return launch_log_; }
+  void clear_launch_log() { launch_log_.clear(); }
+
   /// Drop cache contents (cold-cache experiments).
   void flush_caches() {
     l1_.flush();
@@ -207,6 +231,7 @@ class Device {
   /// Run `kernel(ctx, warp_id)` for warp_id in [0, num_warps).
   template <typename Kernel>
   LaunchResult launch(std::string_view name, std::uint64_t num_warps, Kernel&& kernel) {
+    const Timer launch_timer;  // read only when the launch log is enabled
     LaunchResult result;
     result.kernel_name = std::string(name);
     result.stats.warps_launched = num_warps;
@@ -270,6 +295,10 @@ class Device {
       result.profile = report;
       result.profile.events.clear();  // full timeline lives in profile_log()
       prof_log_.push_back(std::move(report));
+    }
+    if (launch_log_enabled_) {
+      launch_log_.push_back(LaunchRecord{result.kernel_name, num_warps, result.time.total,
+                                         result.time.t_launch, launch_timer.seconds()});
     }
     return result;
   }
@@ -445,6 +474,8 @@ class Device {
   SanitizerReport san_log_;
   bool profile_ = default_profile();
   std::vector<ProfileReport> prof_log_;
+  bool launch_log_enabled_ = false;
+  std::vector<LaunchRecord> launch_log_;
   std::vector<std::unique_ptr<VirtualSm>> sms_;    // lazily sized to threads_
   std::unique_ptr<SimThreadPool> pool_;            // lazily sized to threads_
   /// Pooled per-launch scratch (reset, not reallocated, between launches):

@@ -353,6 +353,71 @@ void trace_event(JsonWriter& w, std::string_view name, int sm, std::uint64_t war
 
 }  // namespace
 
+double collect_launch_slices(const ProfileReport& launch, double base_us,
+                             std::vector<TraceSlice>& out) {
+  const DeviceSpec& spec = spec_for_trace(launch.device_name);
+  std::vector<double> cursor_us(std::max<std::size_t>(launch.sms.size(), 1), base_us);
+  // Per-SM replay state: the warp currently open on that lane plus the
+  // range stack (events arrive grouped by shard, i.e. by SM).
+  struct Open {
+    bool in_warp = false;
+    std::uint64_t warp = 0;
+    double warp_ts_us = 0;
+    KernelStats warp_snap;
+    std::vector<std::pair<std::uint16_t, KernelStats>> stack;
+  };
+  std::vector<Open> open(cursor_us.size());
+
+  for (const ProfEvent& e : launch.events) {
+    const int sm = e.sm;
+    Open& o = open[static_cast<std::size_t>(sm)];
+    switch (e.kind) {
+      case ProfEventKind::WarpBegin:
+        o.in_warp = true;
+        o.warp = e.warp;
+        o.warp_ts_us = cursor_us[static_cast<std::size_t>(sm)];
+        o.warp_snap = e.snap;
+        o.stack.clear();
+        break;
+      case ProfEventKind::WarpEnd: {
+        if (!o.in_warp) {
+          break;  // begin fell past the event cap
+        }
+        const double dur = component_us(spec, e.snap, o.warp_snap, launch.occupancy);
+        out.push_back(TraceSlice{launch.kernel_name, sm, o.warp, o.warp_ts_us, dur});
+        cursor_us[static_cast<std::size_t>(sm)] = o.warp_ts_us + dur;
+        o.in_warp = false;
+        break;
+      }
+      case ProfEventKind::RangeBegin:
+        if (o.in_warp) {
+          o.stack.emplace_back(e.name_id, e.snap);
+        }
+        break;
+      case ProfEventKind::RangeEnd: {
+        if (!o.in_warp || o.stack.empty()) {
+          break;
+        }
+        const auto [name_id, snap] = o.stack.back();
+        o.stack.pop_back();
+        const double ts =
+            o.warp_ts_us + component_us(spec, snap, o.warp_snap, launch.occupancy);
+        const double dur = component_us(spec, e.snap, snap, launch.occupancy);
+        const std::string name = name_id < launch.range_names.size()
+                                     ? launch.range_names[name_id]
+                                     : std::string("range");
+        out.push_back(TraceSlice{name, sm, o.warp, ts, dur});
+        break;
+      }
+    }
+  }
+  double end_us = base_us;
+  for (const double c : cursor_us) {
+    end_us = std::max(end_us, c);
+  }
+  return end_us;
+}
+
 std::string chrome_trace_json(const std::vector<ProfileReport>& launches) {
   JsonWriter w(/*pretty=*/false);
   w.begin_object();
@@ -377,70 +442,13 @@ std::string chrome_trace_json(const std::vector<ProfileReport>& launches) {
   }
 
   double launch_base_us = 0;  // launches laid out back-to-back
+  std::vector<TraceSlice> slices;
   for (const ProfileReport& launch : launches) {
-    const DeviceSpec& spec = spec_for_trace(launch.device_name);
-    std::vector<double> cursor_us(std::max<std::size_t>(launch.sms.size(), 1),
-                                  launch_base_us);
-    // Per-SM replay state: the warp currently open on that lane plus the
-    // range stack (events arrive grouped by shard, i.e. by SM).
-    struct Open {
-      bool in_warp = false;
-      std::uint64_t warp = 0;
-      double warp_ts_us = 0;
-      KernelStats warp_snap;
-      std::vector<std::pair<std::uint16_t, KernelStats>> stack;
-    };
-    std::vector<Open> open(cursor_us.size());
-
-    for (const ProfEvent& e : launch.events) {
-      const int sm = e.sm;
-      Open& o = open[static_cast<std::size_t>(sm)];
-      switch (e.kind) {
-        case ProfEventKind::WarpBegin:
-          o.in_warp = true;
-          o.warp = e.warp;
-          o.warp_ts_us = cursor_us[static_cast<std::size_t>(sm)];
-          o.warp_snap = e.snap;
-          o.stack.clear();
-          break;
-        case ProfEventKind::WarpEnd: {
-          if (!o.in_warp) {
-            break;  // begin fell past the event cap
-          }
-          const double dur =
-              component_us(spec, e.snap, o.warp_snap, launch.occupancy);
-          trace_event(w, launch.kernel_name, sm, o.warp, o.warp_ts_us, dur);
-          cursor_us[static_cast<std::size_t>(sm)] = o.warp_ts_us + dur;
-          o.in_warp = false;
-          break;
-        }
-        case ProfEventKind::RangeBegin:
-          if (o.in_warp) {
-            o.stack.emplace_back(e.name_id, e.snap);
-          }
-          break;
-        case ProfEventKind::RangeEnd: {
-          if (!o.in_warp || o.stack.empty()) {
-            break;
-          }
-          const auto [name_id, snap] = o.stack.back();
-          o.stack.pop_back();
-          const double ts =
-              o.warp_ts_us + component_us(spec, snap, o.warp_snap, launch.occupancy);
-          const double dur = component_us(spec, e.snap, snap, launch.occupancy);
-          const std::string_view name = name_id < launch.range_names.size()
-                                            ? std::string_view(launch.range_names[name_id])
-                                            : std::string_view("range");
-          trace_event(w, name, sm, o.warp, ts, dur);
-          break;
-        }
-      }
+    slices.clear();
+    launch_base_us = collect_launch_slices(launch, launch_base_us, slices);
+    for (const TraceSlice& s : slices) {
+      trace_event(w, s.name, s.sm, s.warp, s.ts_us, s.dur_us);
     }
-    double launch_end_us = launch_base_us;
-    for (const double c : cursor_us) {
-      launch_end_us = std::max(launch_end_us, c);
-    }
-    launch_base_us = launch_end_us;
   }
 
   w.end_array();

@@ -244,6 +244,25 @@ struct ProfileReport {
                                             const TimeBreakdown& launch_time,
                                             std::vector<ProfShard>& shards);
 
+/// One flattened timeline slice of a profiled launch: a warp's residency
+/// interval or a range segment inside it, with modeled-time coordinates.
+/// Produced by collect_launch_slices; consumed by chrome_trace_json and by
+/// spaden-telemetry's stitched host+device trace (core/telemetry).
+struct TraceSlice {
+  std::string name;
+  int sm = 0;
+  std::uint64_t warp = 0;
+  double ts_us = 0;
+  double dur_us = 0;
+};
+
+/// Replay one launch's timeline events into complete slices starting at
+/// `base_us` (one lane per virtual SM, durations from the modeled per-warp
+/// component time). Returns the end timestamp: the furthest lane cursor —
+/// every emitted slice lies within [base_us, returned end].
+double collect_launch_slices(const ProfileReport& launch, double base_us,
+                             std::vector<TraceSlice>& out);
+
 /// Chrome chrome://tracing document ("traceEvents") for a sequence of
 /// profiled launches: one timeline lane per virtual SM, launches laid out
 /// back-to-back, timestamps in microseconds of modeled time.

@@ -7,7 +7,7 @@ artifact, so a change that silently degrades a kernel's *modeled* GFLOPS
 build instead of drifting until someone re-reads the figures.
 
     perf_diff.py BASELINE CURRENT [--tolerance 0.02] [--skip-method NAME]...
-                 [--host-metrics]
+                 [--host-metrics] [--metrics]
 
 BASELINE and CURRENT are either two spaden-bench-v1/-v2 files (the schemas
 mix freely — v2 only adds per-run host throughput fields), or two
@@ -22,6 +22,14 @@ throughput ratio (host_warps_per_sec, v2 exports only): per-figure geomean
 with min/max, so interpreter speedups/regressions are reproducible from CI
 artifacts instead of stderr scraping. Host wall-clock depends on the
 machine, so this mode is informational and never affects the exit code.
+
+--metrics (directory mode, informational like --host-metrics) additionally
+diffs the spaden-telemetry exports the benches write under SPADEN_TELEMETRY
+(METRICS_*.json, schema spaden-metrics-v1): for every histogram series
+present on both sides it prints p50/p99 movements. Quantized percentiles
+only move when an observation crosses a log-bucket boundary (a >= 1.78x
+shift), so any line printed here is a real latency trend, but the mode
+never affects the exit code.
 
 Within a figure, runs are matched by (method, device, matrix). A current
 run whose gflops is more than `tolerance` below the baseline's is a
@@ -77,6 +85,39 @@ def host_metrics(name, base, curr):
     if mismatched:
         print(f"{name}: host      note: sim_threads differ between sides "
               f"({sorted(mismatched)}); ratios mix thread counts")
+
+
+def metrics_series(path):
+    """spaden-metrics-v1 histogram series keyed by (name, sorted labels)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "spaden-metrics-v1":
+        print(f"note: {path}: unexpected metrics schema "
+              f"{doc.get('schema')!r}, skipped", file=sys.stderr)
+        return {}
+    series = {}
+    for section in ("metrics", "host_metrics"):
+        for m in doc.get(section, []):
+            if m.get("type") != "histogram":
+                continue
+            key = (m["name"], tuple(sorted(m.get("labels", {}).items())))
+            series[key] = m
+    return series
+
+
+def diff_metrics(name, base_path, curr_path):
+    """Informational p50/p99 trend between two METRICS_*.json exports."""
+    base = metrics_series(base_path)
+    curr = metrics_series(curr_path)
+    for key in sorted(base.keys() & curr.keys()):
+        moved = []
+        for q in ("p50", "p99"):
+            old, new = base[key].get(q, 0), curr[key].get(q, 0)
+            if old > 0 and new != old:
+                moved.append(f"{q} {old:.3g} -> {new:.3g} ({new / old - 1.0:+.0%})")
+        if moved:
+            label = key[0] + "{" + ",".join(f"{k}={v}" for k, v in key[1]) + "}"
+            print(f"{name}: latency   {label:<60} {', '.join(moved)}")
 
 
 def diff_documents(name, base_doc, curr_doc, tolerance, skip_methods,
@@ -155,6 +196,12 @@ def main():
         action="store_true",
         help="also report host warps/s ratios (informational, never fails)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also diff METRICS_*.json histogram p50/p99 (directory mode; "
+        "informational, never fails)",
+    )
     args = parser.parse_args()
 
     pairs = []  # (figure name, baseline path, current path)
@@ -185,6 +232,15 @@ def main():
             args.skip_method, args.host_metrics)
         total_compared += compared
         total_regressions += regressed
+
+    if args.metrics and os.path.isdir(args.baseline):
+        base_files = {f for f in os.listdir(args.baseline)
+                      if f.startswith("METRICS_") and f.endswith(".json")}
+        curr_files = {f for f in os.listdir(args.current)
+                      if f.startswith("METRICS_") and f.endswith(".json")}
+        for f in sorted(base_files & curr_files):
+            diff_metrics(f[len("METRICS_"):-len(".json")],
+                         os.path.join(args.baseline, f), os.path.join(args.current, f))
 
     print(
         f"{len(pairs)} figures, {total_compared} runs compared, "

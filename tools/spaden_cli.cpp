@@ -4,6 +4,8 @@
 //   spaden spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]
 //               [--sched serial|rr|gto] [--shared-l2|--no-shared-l2]
 //               [--sancheck] [--profile out.json] [--trace out.json]
+//               [--metrics out.prom] [--metrics-json out.json]
+//               [--engine-trace out.json]
 //   spaden verify <matrix>               spaden-verify every format conversion
 //   spaden convert <in.mtx> <out.mtx> [--reorder rcm|degree]
 //   spaden datasets                      list the Table 1 registry
@@ -42,6 +44,9 @@ struct Args {
   bool sancheck = false;
   std::string profile_out;  // --profile FILE: spaden-prof JSON report
   std::string trace_out;    // --trace FILE: chrome://tracing timeline
+  std::string metrics_out;       // --metrics FILE: Prometheus exposition
+  std::string metrics_json_out;  // --metrics-json FILE: spaden-metrics-v1 JSON
+  std::string engine_trace_out;  // --engine-trace FILE: stitched host+device trace
 };
 
 Args parse(int argc, char** argv) {
@@ -85,6 +90,12 @@ Args parse(int argc, char** argv) {
       args.profile_out = next("--profile");
     } else if (a == "--trace") {
       args.trace_out = next("--trace");
+    } else if (a == "--metrics") {
+      args.metrics_out = next("--metrics");
+    } else if (a == "--metrics-json") {
+      args.metrics_json_out = next("--metrics-json");
+    } else if (a == "--engine-trace") {
+      args.engine_trace_out = next("--engine-trace");
     } else {
       args.positional.push_back(a);
     }
@@ -165,7 +176,13 @@ int cmd_spmv(const Args& args) {
     options.shared_l2 = false;
   }
   options.sanitize = options.sanitize || args.sancheck;
-  options.profile = options.profile || !args.profile_out.empty() || !args.trace_out.empty();
+  // Any telemetry output implies telemetry; the stitched trace additionally
+  // needs the profiler's device timeline to nest under the launch spans.
+  const bool want_telemetry = !args.metrics_out.empty() || !args.metrics_json_out.empty() ||
+                              !args.engine_trace_out.empty();
+  options.telemetry = options.telemetry || want_telemetry;
+  options.profile = options.profile || !args.profile_out.empty() || !args.trace_out.empty() ||
+                    !args.engine_trace_out.empty();
   if (!args.method.empty()) {
     options.method = method_by_name(args.method);
   }
@@ -214,6 +231,23 @@ int cmd_spmv(const Args& args) {
     write_text_file(args.trace_out, sim::chrome_trace_json(profiles));
     std::printf("wrote chrome trace %s (open via chrome://tracing)\n",
                 args.trace_out.c_str());
+  }
+  if (const Telemetry* tel = engine.telemetry(); tel != nullptr) {
+    if (!args.metrics_out.empty()) {
+      write_text_file(args.metrics_out, tel->metrics_prometheus());
+      std::printf("wrote metrics exposition %s (%zu families)\n", args.metrics_out.c_str(),
+                  tel->metrics().family_count());
+    }
+    if (!args.metrics_json_out.empty()) {
+      write_text_file(args.metrics_json_out, tel->metrics_json());
+      std::printf("wrote metrics JSON %s (schema %s)\n", args.metrics_json_out.c_str(),
+                  met::kMetricsSchema);
+    }
+    if (!args.engine_trace_out.empty()) {
+      write_text_file(args.engine_trace_out, tel->chrome_trace_json());
+      std::printf("wrote stitched engine trace %s (%zu spans)\n",
+                  args.engine_trace_out.c_str(), tel->spans().size());
+    }
   }
   return findings == 0 ? 0 : 3;
 }
@@ -299,6 +333,11 @@ int main(int argc, char** argv) {
           "                [--sancheck]      run under spaden-sancheck (exit 3 on findings)\n"
           "                [--profile F.json] write the spaden-prof report (and print it)\n"
           "                [--trace F.json]   write a chrome://tracing timeline\n"
+          "                [--metrics F.prom] write the spaden-telemetry Prometheus\n"
+          "                                   exposition (implies telemetry)\n"
+          "                [--metrics-json F.json]  write spaden-metrics-v1 JSON\n"
+          "                [--engine-trace F.json]  write the stitched host+device\n"
+          "                                   timeline (implies telemetry + profile)\n"
           "  verify <matrix>                   run spaden-verify over every format\n"
           "                                    conversion (exit 4 on violations)\n"
           "  convert <in> <out.mtx> [--reorder rcm|degree]\n"
