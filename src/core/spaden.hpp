@@ -100,7 +100,30 @@ class SpmvEngine {
   SpmvEngine& operator=(SpmvEngine&&) noexcept;
 
   /// y = A*x. Resizes y to nrows.
-  SpmvResult multiply(const std::vector<float>& x, std::vector<float>& y);
+  ///
+  /// `x_generation` is an optional caller-managed version tag for `x`: 0
+  /// (default) always uploads; a nonzero value that matches the previous
+  /// call's tag skips the device upload and reuses the cached x buffer (the
+  /// caller guarantees the contents are unchanged — spaden-serve's registry
+  /// path depends on this). With telemetry on, the skip is observable as an
+  /// absent "upload" span.
+  SpmvResult multiply(const std::vector<float>& x, std::vector<float>& y,
+                      std::uint64_t x_generation = 0);
+
+  /// Batched multiply against the one prepared matrix: ys[i] = A*xs[i] for k
+  /// right-hand sides in a single fused launch where the method supports it
+  /// (Spaden's strided multi-RHS SpMM; other methods run per-column).
+  /// Per-request outputs are bit-identical to k sequential multiply() calls.
+  /// The returned result aggregates the whole batch (modeled seconds of the
+  /// fused launch, gflops counting 2*nnz*k useful flops).
+  SpmvResult multiply_batch(const std::vector<const std::vector<float>*>& xs,
+                            std::vector<std::vector<float>>& ys);
+  SpmvResult multiply_batch(const std::vector<std::vector<float>>& xs,
+                            std::vector<std::vector<float>>& ys);
+
+  /// Stamp an extra label dimension (e.g. serve's matrix handle) onto every
+  /// metric this engine records from now on. No-op when telemetry is off.
+  void set_telemetry_label(std::string key, std::string value);
 
   [[nodiscard]] kern::Method chosen_method() const;
   [[nodiscard]] const PrepInfo& prep() const;

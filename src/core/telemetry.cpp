@@ -70,28 +70,59 @@ void Telemetry::record_launches(const std::vector<sim::LaunchRecord>& launches,
   }
   profiles_kept_from_ = profiles_.size();
 
-  for (std::size_t i = 0; i < launches.size(); ++i) {
-    const sim::LaunchRecord& rec = launches[i];
-    const int index = begin_span(rec.kernel_name);
-    if (profiles != nullptr && i < profiles->size() && (*profiles)[i].enabled) {
-      spans_[static_cast<std::size_t>(index)].profile_index =
-          static_cast<int>(profiles_.size());
-      profiles_.push_back((*profiles)[i]);
+  // Launches carry a batch id tagging which logical multiply they belong
+  // to. When the log spans more than one id (an engine multiply_batch whose
+  // method ran per-column, say), each contiguous same-id group is nested
+  // under a structural "batch" wrapper span, so build_trace shows the
+  // batch's multiplies as siblings instead of one flat interleaved run.
+  bool multiple_ids = false;
+  for (const sim::LaunchRecord& rec : launches) {
+    if (rec.batch_id != launches.front().batch_id) {
+      multiple_ids = true;
+      break;
     }
-    close_span(index, rec.host_seconds, rec.modeled_seconds);
+  }
 
-    registry_.counter("spaden_launches_total", labels_, "Kernel launches issued").inc();
-    registry_
-        .counter("spaden_warps_launched_total", labels_, "Warps across all launches")
-        .inc(rec.warps);
-    registry_
-        .histogram("spaden_launch_modeled_seconds", labels_,
-                   "Modeled device seconds per kernel launch")
-        .observe(rec.modeled_seconds);
-    registry_
-        .histogram("spaden_launch_host_seconds", labels_,
-                   "Host wall-clock seconds the simulator spent per launch")
-        .observe(rec.host_seconds);
+  for (std::size_t i = 0; i < launches.size();) {
+    std::size_t group_end = i;
+    double group_host = 0;
+    double group_modeled = 0;
+    while (group_end < launches.size() &&
+           launches[group_end].batch_id == launches[i].batch_id) {
+      group_host += launches[group_end].host_seconds;
+      group_modeled += launches[group_end].modeled_seconds;
+      ++group_end;
+    }
+    const int wrapper = multiple_ids ? begin_span("batch") : -1;
+    for (std::size_t j = i; j < group_end; ++j) {
+      const sim::LaunchRecord& rec = launches[j];
+      const int index = begin_span(rec.kernel_name);
+      if (profiles != nullptr && j < profiles->size() && (*profiles)[j].enabled) {
+        spans_[static_cast<std::size_t>(index)].profile_index =
+            static_cast<int>(profiles_.size());
+        profiles_.push_back((*profiles)[j]);
+      }
+      close_span(index, rec.host_seconds, rec.modeled_seconds);
+
+      registry_.counter("spaden_launches_total", labels_, "Kernel launches issued").inc();
+      registry_
+          .counter("spaden_warps_launched_total", labels_, "Warps across all launches")
+          .inc(rec.warps);
+      registry_
+          .histogram("spaden_launch_modeled_seconds", labels_,
+                     "Modeled device seconds per kernel launch")
+          .observe(rec.modeled_seconds);
+      registry_
+          .histogram("spaden_launch_host_seconds", labels_,
+                     "Host wall-clock seconds the simulator spent per launch")
+          .observe(rec.host_seconds);
+    }
+    if (wrapper >= 0) {
+      // Structural span: no per-phase metric (the launches inside recorded
+      // their own), just the tree node build_trace nests the group under.
+      close_span(wrapper, group_host, group_modeled);
+    }
+    i = group_end;
   }
 }
 

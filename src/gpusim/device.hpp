@@ -97,6 +97,11 @@ struct LaunchRecord {
   double modeled_seconds = 0;  ///< TimeBreakdown::total of this launch
   double t_launch = 0;         ///< fixed launch-overhead share of the above
   double host_seconds = 0;     ///< host wall-clock the simulator spent on it
+  /// Logical-multiply tag (Device::set_batch_id): launches sharing an id
+  /// belong to one logical multiply, so multi-launch batches (one engine
+  /// multiply_batch over k right-hand sides) can be regrouped instead of
+  /// read as one flat launch sequence. 0 = untagged.
+  std::uint64_t batch_id = 0;
 };
 
 /// Result of one kernel launch: measured counters + modeled time.
@@ -215,6 +220,16 @@ class Device {
   [[nodiscard]] const std::vector<LaunchRecord>& launch_log() const { return launch_log_; }
   void clear_launch_log() { launch_log_.clear(); }
 
+  /// Batch tag stamped onto every LaunchRecord until changed (see
+  /// LaunchRecord::batch_id). Callers that issue several logical multiplies
+  /// back to back (SpmvKernel::run_multi's per-column fallback) draw a fresh
+  /// id per multiply with alloc_batch_id(); kernels that launch more than
+  /// once per multiply (gunrock, csr_adaptive) keep one id across their
+  /// launches by not touching it.
+  [[nodiscard]] std::uint64_t batch_id() const { return batch_id_; }
+  void set_batch_id(std::uint64_t id) { batch_id_ = id; }
+  [[nodiscard]] std::uint64_t alloc_batch_id() { return ++batch_id_counter_; }
+
   /// Drop cache contents (cold-cache experiments).
   void flush_caches() {
     l1_.flush();
@@ -298,7 +313,8 @@ class Device {
     }
     if (launch_log_enabled_) {
       launch_log_.push_back(LaunchRecord{result.kernel_name, num_warps, result.time.total,
-                                         result.time.t_launch, launch_timer.seconds()});
+                                         result.time.t_launch, launch_timer.seconds(),
+                                         batch_id_});
     }
     return result;
   }
@@ -476,6 +492,8 @@ class Device {
   std::vector<ProfileReport> prof_log_;
   bool launch_log_enabled_ = false;
   std::vector<LaunchRecord> launch_log_;
+  std::uint64_t batch_id_ = 0;          ///< current tag (see set_batch_id)
+  std::uint64_t batch_id_counter_ = 0;  ///< alloc_batch_id source
   std::vector<std::unique_ptr<VirtualSm>> sms_;    // lazily sized to threads_
   std::unique_ptr<SimThreadPool> pool_;            // lazily sized to threads_
   /// Pooled per-launch scratch (reset, not reallocated, between launches):

@@ -78,6 +78,40 @@ void SpmvKernel::prepare(sim::Device& device, const mat::Csr& a) {
   prep_seconds_ = timer.seconds();
 }
 
+sim::LaunchResult SpmvKernel::run_multi(sim::Device& device, sim::DSpan<const float> xs,
+                                        sim::DSpan<float> ys, mat::Index k) {
+  SPADEN_REQUIRE(k >= 1, "run_multi needs at least one right-hand side");
+  SPADEN_REQUIRE(xs.size == static_cast<std::size_t>(k) * ncols_ &&
+                     ys.size == static_cast<std::size_t>(k) * nrows_,
+                 "xs/ys size mismatch for k=%u", k);
+  sim::LaunchResult agg;
+  for (mat::Index c = 0; c < k; ++c) {
+    // Each column is its own logical multiply; a fresh batch id keeps its
+    // launches grouped in the telemetry launch log.
+    device.set_batch_id(device.alloc_batch_id());
+    const sim::LaunchResult r =
+        run(device, xs.subspan(static_cast<std::size_t>(c) * ncols_, ncols_),
+            ys.subspan(static_cast<std::size_t>(c) * nrows_, nrows_));
+    if (c == 0) {
+      agg.kernel_name = r.kernel_name;
+    }
+    agg.stats += r.stats;
+    agg.sanitizer.merge(r.sanitizer);
+    // Sequential launches: the batch pays every per-launch breakdown in
+    // full, so the aggregate is the component-wise sum (unlike a merged
+    // estimate_time call, which would count t_launch once).
+    agg.time.t_dram += r.time.t_dram;
+    agg.time.t_l2 += r.time.t_l2;
+    agg.time.t_lsu += r.time.t_lsu;
+    agg.time.t_cuda += r.time.t_cuda;
+    agg.time.t_tc += r.time.t_tc;
+    agg.time.t_launch += r.time.t_launch;
+    agg.time.t_stall += r.time.t_stall;
+    agg.time.total += r.time.total;
+  }
+  return agg;
+}
+
 san::FormatReport SpmvKernel::check_format() const {
   san::FormatReport report;
   report.format = "(no uploaded sparse format)";

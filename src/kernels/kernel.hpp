@@ -93,6 +93,19 @@ class SpmvKernel {
   [[nodiscard]] virtual sim::LaunchResult run(sim::Device& device, sim::DSpan<const float> x,
                                               sim::DSpan<float> y) = 0;
 
+  /// k multiplies against one prepared matrix (the spaden-serve batch path):
+  /// `xs` holds k right-hand sides stored contiguously column-major (RHS c
+  /// occupies [c*ncols, (c+1)*ncols)) and `ys` the k outputs likewise.
+  /// Overwrites ys. Contract: per-RHS results are bit-identical to k
+  /// sequential run() calls. The base implementation runs the kernel once
+  /// per column (trivially bit-identical; modeled time is the sum of the
+  /// per-column launches, each paying its own t_launch) and tags each
+  /// column's launches with a fresh batch id. Methods with a genuinely
+  /// fused multi-RHS kernel (Spaden's strided SpMM) override it.
+  [[nodiscard]] virtual sim::LaunchResult run_multi(sim::Device& device,
+                                                   sim::DSpan<const float> xs,
+                                                   sim::DSpan<float> ys, mat::Index k);
+
   [[nodiscard]] virtual Footprint footprint() const = 0;
 
   /// spaden-verify: structural-invariant sweep over the *uploaded*

@@ -18,6 +18,7 @@
 #include "kernels/bitbsr_decode.hpp"
 #include "kernels/formats_device.hpp"
 #include "kernels/internal.hpp"
+#include "kernels/spmm.hpp"
 #include "tensorcore/wmma.hpp"
 
 namespace spaden::kern {
@@ -235,6 +236,25 @@ class SpadenKernel final : public SpmvKernel {
         ctx.scatter(y, yidx2, out2, mask2);
       }
     });
+  }
+
+  sim::LaunchResult run_multi(sim::Device& device, sim::DSpan<const float> xs,
+                              sim::DSpan<float> ys, mat::Index k) override {
+    // Only the paper's pairing TC variant has a fused multi-RHS kernel; the
+    // ablations keep the (bit-identical) sequential base path. The fused
+    // launch has pairs * ceil(k/8) warps, so the pair-sized balancing
+    // weights installed at prepare no longer apply (the device falls back
+    // to its contiguous partition on the size mismatch).
+    if (variant_ != SpadenVariant::TensorCore) {
+      return SpmvKernel::run_multi(device, xs, ys, k);
+    }
+    SPADEN_REQUIRE(k >= 1, "run_multi needs at least one right-hand side");
+    SPADEN_REQUIRE(xs.size == static_cast<std::size_t>(k) * ncols_ &&
+                       ys.size == static_cast<std::size_t>(k) * nrows_,
+                   "xs/ys size mismatch for k=%u", k);
+    device.set_batch_id(device.alloc_batch_id());
+    return spmm_spaden_strided(device, bitbsr_, decode_cache_.get(), xs, ys, k, nrows_,
+                               ncols_);
   }
 
   [[nodiscard]] san::FormatReport check_format() const override {

@@ -190,4 +190,124 @@ SpmmResult spmm_spaden(sim::Device& device, const mat::Csr& a, const mat::Dense&
   return result;
 }
 
+sim::LaunchResult spmm_spaden_strided(sim::Device& device, const DeviceBitBsr& a,
+                                      const BitBsrDecodeCache* cache,
+                                      sim::DSpan<const float> xs, sim::DSpan<float> ys,
+                                      mat::Index k, mat::Index nrows, mat::Index ncols) {
+  SPADEN_REQUIRE(k >= 1, "spmm_spaden_strided needs at least one right-hand side");
+  SPADEN_REQUIRE(xs.size == static_cast<std::size_t>(k) * ncols &&
+                     ys.size == static_cast<std::size_t>(k) * nrows,
+                 "xs/ys size mismatch for k=%u", k);
+  const auto block_row_ptr = a.block_row_ptr.cspan();
+  const mat::Index brows = a.brows;
+  const mat::Index col_tiles = ceil_div<mat::Index>(k, 8);
+
+  const std::uint64_t warps = static_cast<std::uint64_t>((brows + 1) / 2) * col_tiles;
+  return device.launch("spmm_spaden_strided", warps, [&](sim::WarpCtx& ctx,
+                                                         std::uint64_t w) {
+    const auto pair = static_cast<mat::Index>(w / col_tiles);
+    const auto tile = static_cast<mat::Index>(w % col_tiles) * 8;
+    const mat::Index r1 = 2 * pair;
+    const mat::Index r2 = 2 * pair + 1;
+    const mat::Index begin1 = ctx.scalar_load(block_row_ptr, r1);
+    const mat::Index end1 = ctx.scalar_load(block_row_ptr, r1 + 1);
+    const bool has_r2 = r2 < brows;
+    const mat::Index begin2 = has_r2 ? ctx.scalar_load(block_row_ptr, r2) : 0;
+    const mat::Index end2 = has_r2 ? ctx.scalar_load(block_row_ptr, r2 + 1) : 0;
+    const mat::Index len1 = end1 - begin1;
+    const mat::Index len2 = end2 - begin2;
+    const mat::Index iterations = std::max(len1, len2);
+
+    tc::FragA a_frag;
+    tc::FragB b_frag;
+    tc::FragAcc acc_frag;
+    for (mat::Index j = 0; j < iterations; ++j) {
+      for (int slot = 0; slot < 2; ++slot) {
+        const bool valid = slot == 0 ? (j < len1) : (j < len2);
+        const unsigned reg0 = slot == 0 ? 0 : 6;
+        if (!valid) {
+          const sim::ProfRange prof(ctx, "mma");
+          for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+            a_frag.x(lane, reg0) = half{};
+            a_frag.x(lane, reg0 + 1) = half{};
+          }
+          ctx.charge(sim::OpClass::RegMove, 2 * sim::kWarpSize);
+          continue;
+        }
+        const mat::Index a_idx = (slot == 0 ? begin1 : begin2) + j;
+        ctx.range_push("decode");
+        const DecodedBlock dec = decode_bitbsr_block(ctx, a, a_idx, cache);
+        // Per-column vector decode: lane holds B-portion column lane/4 (the
+        // RHS at tile + lane/4), rows 2*(lane%4) and +1. Row indices clamp
+        // to ncols-1 exactly like the SpMV kernel (out-of-range rows only
+        // multiply structural zeros); the column clamps to the last RHS,
+        // whose spurious outputs the extraction mask drops.
+        sim::Lanes<std::uint32_t> xidx1{};
+        sim::Lanes<std::uint32_t> xidx2{};
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          const std::uint32_t seg = (lane & 3u) << 1;
+          const std::uint32_t xrow1 = std::min(dec.block_col * 8 + seg, ncols - 1);
+          const std::uint32_t xrow2 = std::min(dec.block_col * 8 + seg + 1, ncols - 1);
+          const std::uint32_t c_eff = std::min(tile + lane / 4, k - 1);
+          xidx1[lane] = c_eff * ncols + xrow1;
+          xidx2[lane] = c_eff * ncols + xrow2;
+        }
+        ctx.charge(sim::OpClass::IntAlu, 2 * sim::kWarpSize);
+        const auto bv1 = ctx.gather(xs, xidx1);
+        const auto bv2 = ctx.gather(xs, xidx2);
+        ctx.range_pop();
+        ctx.range_push("mma");
+        for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+          a_frag.x(lane, reg0) = dec.a_val1[lane];
+          a_frag.x(lane, reg0 + 1) = dec.a_val2[lane];
+          b_frag.x(lane, reg0) = half(bv1[lane]);
+          b_frag.x(lane, reg0 + 1) = half(bv2[lane]);
+        }
+        ctx.charge(sim::OpClass::RegMove, 4 * sim::kWarpSize);
+        ctx.charge(sim::OpClass::Convert, 2 * sim::kWarpSize);
+        ctx.range_pop();
+      }
+      {
+        const sim::ProfRange prof(ctx, "mma");
+        tc::wmma_mma(ctx, acc_frag, a_frag, b_frag, acc_frag);
+      }
+    }
+
+    // Extract both diagonal portions into the column-major Y stack: lane
+    // owns accumulator elements (row lane/4, portion cols 2*(lane%4), +1),
+    // so all 8 RHS columns of the tile demultiplex in one pass.
+    const sim::ProfRange prof_extract(ctx, "extract");
+    for (int slot = 0; slot < 2; ++slot) {
+      if (slot == 1 && !has_r2) {
+        break;
+      }
+      const mat::Index br = slot == 0 ? r1 : r2;
+      const unsigned reg0 = slot == 0 ? 0 : 6;
+      sim::Lanes<std::uint32_t> yidx1{};
+      sim::Lanes<std::uint32_t> yidx2{};
+      sim::Lanes<float> yv1{};
+      sim::Lanes<float> yv2{};
+      std::uint32_t m1 = 0;
+      std::uint32_t m2 = 0;
+      for (unsigned lane = 0; lane < sim::kWarpSize; ++lane) {
+        const std::uint32_t row = br * 8 + lane / 4;
+        const std::uint32_t c1 = tile + 2 * (lane % 4);
+        if (row < nrows && c1 < k) {
+          yidx1[lane] = c1 * nrows + row;
+          yv1[lane] = acc_frag.x(lane, reg0);
+          m1 |= 1u << lane;
+        }
+        if (row < nrows && c1 + 1 < k) {
+          yidx2[lane] = (c1 + 1) * nrows + row;
+          yv2[lane] = acc_frag.x(lane, reg0 + 1);
+          m2 |= 1u << lane;
+        }
+      }
+      ctx.charge(sim::OpClass::IntAlu, 2 * sim::kWarpSize);
+      ctx.scatter(ys, yidx1, yv1, m1);
+      ctx.scatter(ys, yidx2, yv2, m2);
+    }
+  });
+}
+
 }  // namespace spaden::kern

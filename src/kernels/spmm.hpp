@@ -18,6 +18,9 @@
 
 namespace spaden::kern {
 
+struct DeviceBitBsr;
+class BitBsrDecodeCache;
+
 struct SpmmResult {
   mat::Dense c;
   sim::LaunchResult launch;
@@ -33,6 +36,22 @@ SpmmResult spmm_csr(sim::Device& device, const mat::Csr& a, const mat::Dense& b)
 /// Tensor-core bitBSR SpMM: one warp per (block-row pair, 8-column tile);
 /// values in binary16, accumulation in fp32.
 SpmmResult spmm_spaden(sim::Device& device, const mat::Csr& a, const mat::Dense& b);
+
+/// Strided multi-RHS SpMM over an *already prepared* device bitBSR — the
+/// spaden-serve request-fusion path. X and Y are column-major stacks of k
+/// SpMV vectors (RHS c at X[c*ncols..], output c at Y[c*nrows..]), not the
+/// row-major Dense of spmm_spaden, so per-request results demultiplex as
+/// contiguous slices. Per column the arithmetic mirrors the Spaden SpMV
+/// kernel exactly — same decode, same edge clamping, same half conversion,
+/// same ascending-k MMA accumulation — so each output column is
+/// bit-identical to one SpadenKernel::run with that column's x (the serve
+/// acceptance anchor); only the modeled cost differs (one fragment serves 8
+/// columns instead of 2 of 16). One warp per (block-row pair, 8-column
+/// tile).
+sim::LaunchResult spmm_spaden_strided(sim::Device& device, const DeviceBitBsr& a,
+                                      const BitBsrDecodeCache* cache,
+                                      sim::DSpan<const float> xs, sim::DSpan<float> ys,
+                                      mat::Index k, mat::Index nrows, mat::Index ncols);
 
 /// Error bound for comparing an SpMM result against the fp64 reference.
 double spmm_tolerance(const mat::Csr& a, bool half_precision_values);

@@ -159,17 +159,18 @@ def diff_documents(name, base_doc, curr_doc, tolerance, skip_methods,
     if show_host_metrics and (base or curr):
         host_metrics(name, base, curr)
 
-    # Metric-only figures (no per-matrix runs) still carry comparable
-    # numbers — report their drift so e.g. an imbalance jump is visible.
-    if not base and not curr:
-        base_metrics = {m["name"]: m["value"] for m in base_doc.get("metrics", [])}
-        for m in curr_doc.get("metrics", []):
-            old = base_metrics.get(m["name"])
-            if old is None or old == 0:
-                continue
-            delta = m["value"] / old - 1.0
-            if abs(delta) > tolerance:
-                print(f"{name}: metric    {m['name']:<45} {old:8.3f} -> {m['value']:8.3f} ({delta:+.1%})")
+    # Named scalar metrics (geomean speedups, serve requests/s, ...) carry
+    # comparable numbers whether or not the figure also has per-matrix runs —
+    # report their drift informationally so e.g. an imbalance jump or a
+    # serving-throughput drop is visible next to the run-level diff.
+    base_metrics = {m["name"]: m["value"] for m in base_doc.get("metrics", [])}
+    for m in curr_doc.get("metrics", []):
+        old = base_metrics.get(m["name"])
+        if old is None or old == 0:
+            continue
+        delta = m["value"] / old - 1.0
+        if abs(delta) > tolerance:
+            print(f"{name}: metric    {m['name']:<45} {old:8.3f} -> {m['value']:8.3f} ({delta:+.1%})")
 
     return len(base.keys() & curr.keys()), len(regressions)
 

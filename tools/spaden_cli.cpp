@@ -8,6 +8,8 @@
 //               [--engine-trace out.json]
 //   spaden verify <matrix>               spaden-verify every format conversion
 //   spaden convert <in.mtx> <out.mtx> [--reorder rcm|degree]
+//   spaden serve [--replay spec.json] [--wall-clock]
+//                                        batched SpMV serving replay (spaden-serve)
 //   spaden datasets                      list the Table 1 registry
 //   spaden probe                         print the §3 reverse-engineering grids
 //
@@ -16,15 +18,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/recommend.hpp"
 #include "common/json.hpp"
 #include "common/parse.hpp"
+#include "common/table.hpp"
 #include "core/spaden.hpp"
 #include "matrix/matrix.hpp"
 #include "matrix/verify.hpp"
+#include "serve/replay.hpp"
 #include "tensorcore/probe.hpp"
 
 namespace {
@@ -47,6 +53,8 @@ struct Args {
   std::string metrics_out;       // --metrics FILE: Prometheus exposition
   std::string metrics_json_out;  // --metrics-json FILE: spaden-metrics-v1 JSON
   std::string engine_trace_out;  // --engine-trace FILE: stitched host+device trace
+  std::string replay_spec;       // --replay FILE: serve replay spec JSON
+  bool wall_clock = false;       // --wall-clock: AsyncServer host-time mode
 };
 
 Args parse(int argc, char** argv) {
@@ -96,6 +104,10 @@ Args parse(int argc, char** argv) {
       args.metrics_json_out = next("--metrics-json");
     } else if (a == "--engine-trace") {
       args.engine_trace_out = next("--engine-trace");
+    } else if (a == "--replay") {
+      args.replay_spec = next("--replay");
+    } else if (a == "--wall-clock") {
+      args.wall_clock = true;
     } else {
       args.positional.push_back(a);
     }
@@ -306,6 +318,133 @@ int cmd_datasets() {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  serve::ReplaySpec spec;
+  if (!args.replay_spec.empty()) {
+    std::ifstream in(args.replay_spec);
+    SPADEN_REQUIRE(in.good(), "cannot open replay spec '%s'", args.replay_spec.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    spec = serve::parse_replay_spec(ss.str());
+  }
+  const bool want_telemetry = !args.metrics_out.empty() || !args.metrics_json_out.empty() ||
+                              !args.engine_trace_out.empty();
+
+  serve::RegistryConfig rcfg;
+  rcfg.engine.telemetry = rcfg.engine.telemetry || want_telemetry;
+  rcfg.engine.profile = rcfg.engine.profile || !args.engine_trace_out.empty();
+
+  if (args.wall_clock) {
+    // AsyncServer: a dispatcher thread forms batches under host-time
+    // windows. No unbatched baseline (and so no demux check) — latencies
+    // are host-measured and land in the host_* metric series.
+    serve::MatrixRegistry registry(rcfg);
+    const auto handles = serve::register_matrices(spec, registry);
+    auto stream = serve::synthesize_stream(spec, registry, handles);
+    serve::ServeConfig scfg;
+    if (spec.max_batch != 0) {
+      scfg.max_batch = spec.max_batch;
+    }
+    if (spec.window_seconds >= 0) {
+      scfg.window_seconds = spec.window_seconds;
+    }
+    serve::AsyncServer server(registry, scfg);
+    for (serve::Request& req : stream) {
+      server.submit(req.handle, std::move(req.tenant), std::move(req.x));
+    }
+    const serve::ServeReport report = server.finish();
+    Table table({"Matrix", "Requests", "Batches", "Mean width", "p50 (host)", "p99 (host)"});
+    for (const auto& [h, agg] : report.per_matrix) {
+      met::LabelSet labels{{"matrix", agg.matrix}, {"method", agg.method}};
+      const met::Histogram& lat =
+          server.metrics().histogram("spaden_serve_host_latency_seconds", labels);
+      table.add_row({agg.matrix, std::to_string(agg.requests), std::to_string(agg.batches),
+                     fmt_double(static_cast<double>(agg.requests) /
+                                    static_cast<double>(agg.batches),
+                                2),
+                     fmt_double(lat.quantile(0.5) * 1e6, 1) + " us",
+                     fmt_double(lat.quantile(0.99) * 1e6, 1) + " us"});
+      (void)h;
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::printf("\n%llu requests in %llu batches (%llu fused), %s requests/s (host)\n",
+                static_cast<unsigned long long>(report.requests),
+                static_cast<unsigned long long>(report.batches),
+                static_cast<unsigned long long>(report.fused_batches),
+                fmt_si(report.requests_per_second).c_str());
+    if (!args.metrics_out.empty()) {
+      write_text_file(args.metrics_out, server.metrics().prometheus());
+      std::printf("wrote metrics exposition %s\n", args.metrics_out.c_str());
+    }
+    if (!args.metrics_json_out.empty()) {
+      JsonWriter w;
+      w.begin_object();
+      w.field("schema", met::kMetricsSchema);
+      server.metrics().write_json_sections(w, /*include_host=*/true);
+      w.end_object();
+      write_text_file(args.metrics_json_out, w.take());
+      std::printf("wrote metrics JSON %s\n", args.metrics_json_out.c_str());
+    }
+    return 0;
+  }
+
+  // Deterministic virtual-time replay: batched vs unbatched, demux-checked.
+  serve::MatrixRegistry registry(rcfg);
+  const serve::ReplayResult r = serve::run_replay(spec, &registry);
+  met::MetricsRegistry metrics = r.metrics;  // histogram() needs mutable access
+
+  Table table({"Matrix", "Method", "Mode", "Requests", "Mean width", "p50", "p99"});
+  const auto add_rows = [&](const serve::ServeReport& report, const char* mode) {
+    for (const auto& [h, agg] : report.per_matrix) {
+      met::LabelSet labels{
+          {"matrix", agg.matrix}, {"method", agg.method}, {"mode", mode}};
+      const met::Histogram& lat =
+          metrics.histogram("spaden_serve_latency_seconds", labels);
+      table.add_row({agg.matrix, agg.method, mode, std::to_string(agg.requests),
+                     fmt_double(static_cast<double>(agg.requests) /
+                                    static_cast<double>(agg.batches),
+                                2),
+                     fmt_double(lat.quantile(0.5) * 1e6, 1) + " us",
+                     fmt_double(lat.quantile(0.99) * 1e6, 1) + " us"});
+      (void)h;
+    }
+  };
+  add_rows(r.batched, "batched");
+  add_rows(r.unbatched, "unbatched");
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nrequests/s batched %s, unbatched %s (%.2fx); TC utilization %.1f%% vs "
+              "%.1f%% (%.2fx)\n",
+              fmt_si(r.batched.requests_per_second).c_str(),
+              fmt_si(r.unbatched.requests_per_second).c_str(), r.speedup,
+              100.0 * r.batched.tc_utilization(), 100.0 * r.unbatched.tc_utilization(),
+              r.tc_uplift);
+
+  if (!args.metrics_out.empty()) {
+    write_text_file(args.metrics_out, r.metrics_prometheus());
+    std::printf("wrote metrics exposition %s\n", args.metrics_out.c_str());
+  }
+  if (!args.metrics_json_out.empty()) {
+    write_text_file(args.metrics_json_out, r.metrics_json());
+    std::printf("wrote metrics JSON %s\n", args.metrics_json_out.c_str());
+  }
+  if (!args.engine_trace_out.empty()) {
+    // Trace of the engine serving the first spec matrix (handle 1).
+    if (const Telemetry* tel = registry.acquire(1).telemetry(); tel != nullptr) {
+      write_text_file(args.engine_trace_out, tel->chrome_trace_json());
+      std::printf("wrote stitched engine trace %s (%zu spans)\n",
+                  args.engine_trace_out.c_str(), tel->spans().size());
+    }
+  }
+  if (!r.demux_ok) {
+    std::fprintf(stderr,
+                 "serve: demux MISMATCH — %llu request(s) differ from sequential SpMV\n",
+                 static_cast<unsigned long long>(r.mismatched_requests));
+    return 5;
+  }
+  std::printf("demux check: batched results bit-identical to sequential SpMV\n");
+  return 0;
+}
+
 int cmd_probe() {
   std::printf("thread layout (Figure 1):\n%s\nregister layout (Figure 2):\n%s",
               tc::render_grid(tc::probe_thread_layout(tc::FragUse::MatrixA)).c_str(),
@@ -322,7 +461,7 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.positional.empty()) {
       std::printf(
-          "usage: spaden <info|spmv|verify|convert|datasets|probe> ...\n"
+          "usage: spaden <info|spmv|verify|convert|serve|datasets|probe> ...\n"
           "  info <matrix>                     structure + format recommendation\n"
           "  spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]\n"
           "                [--sched P]       warp scheduling: serial|rr|gto[:window]\n"
@@ -341,6 +480,12 @@ int main(int argc, char** argv) {
           "  verify <matrix>                   run spaden-verify over every format\n"
           "                                    conversion (exit 4 on violations)\n"
           "  convert <in> <out.mtx> [--reorder rcm|degree]\n"
+          "  serve [--replay spec.json]        replay a synthetic request stream through\n"
+          "                                    the batched serving engine, batched vs\n"
+          "                                    unbatched (exit 5 on demux mismatch);\n"
+          "                                    honors --metrics/--metrics-json/\n"
+          "                                    --engine-trace\n"
+          "        [--wall-clock]              serve on the host clock (AsyncServer)\n"
           "  datasets                          list the Table 1 registry\n"
           "  probe                             print the reverse-engineered layouts\n"
           "matrices: a .mtx path or a dataset name (--scale, default 0.25)\n");
@@ -361,6 +506,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "datasets") {
       return cmd_datasets();
+    }
+    if (cmd == "serve") {
+      return cmd_serve(args);
     }
     if (cmd == "probe") {
       return cmd_probe();
