@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "kernels/sharded.hpp"
 
 namespace spaden {
 
@@ -11,19 +12,35 @@ struct SpmvEngine::Impl {
   EngineOptions options;
   kern::Method method;
   sim::Device device;
-  std::unique_ptr<kern::SpmvKernel> kernel;
+  std::unique_ptr<kern::SpmvKernel> kernel;       // single-device path
+  std::unique_ptr<sim::DeviceGroup> group;        // num_devices > 1 only
+  std::unique_ptr<kern::ShardedSpmv> sharded;     // num_devices > 1 only
   PrepInfo prep;
   std::unique_ptr<Telemetry> telemetry;  // null unless options.telemetry
   bool verified = false;
   sim::Buffer<float> x_cache;       // device x of the last multiply
   std::uint64_t x_cache_gen = 0;    // generation tag of x_cache (0 = none)
 
+  SpmvResult multiply_sharded(const std::vector<float>& x, std::vector<float>& y,
+                              std::uint64_t x_generation);
+
   Impl(const mat::Csr& a, EngineOptions opts)
       : matrix(a),
         options(std::move(opts)),
         method(options.method.value_or(auto_select(a))),
         device(options.device),
-        kernel(kern::make_kernel(method)) {
+        kernel(options.num_devices > 1 ? nullptr : kern::make_kernel(method)) {
+    if (options.num_devices > 1) {
+      group = std::make_unique<sim::DeviceGroup>(options.device, options.num_devices);
+      if (options.sim_threads > 0) {
+        group->set_sim_threads(options.sim_threads);
+      }
+      group->set_sanitize(options.sanitize);
+      group->set_profile(options.profile);
+      group->set_sched(options.sched);
+      group->set_shared_l2(options.shared_l2);
+      sharded = std::make_unique<kern::ShardedSpmv>(*group, method);
+    }
     if (options.sim_threads > 0) {
       device.set_sim_threads(options.sim_threads);
     }
@@ -35,24 +52,34 @@ struct SpmvEngine::Impl {
       telemetry = std::make_unique<Telemetry>();
       telemetry->set_label("method", std::string(kern::method_name(method)));
       telemetry->set_label("device", device.spec().name);
-      device.set_launch_log(true);
+      if (group != nullptr) {
+        telemetry->set_label("devices", std::to_string(group->size()));
+        group->set_launch_log(true);
+      } else {
+        device.set_launch_log(true);
+      }
     }
 
     // The convert span is PrepInfo's single source of truth: prep.seconds
     // IS the span's host seconds (and, telemetry on, the same value the
     // spaden_convert_host_seconds histogram observes).
     ScopedSpan convert_span(telemetry.get(), "convert");
-    kernel->prepare(device, matrix);
+    if (sharded != nullptr) {
+      sharded->prepare(matrix);
+    } else {
+      kernel->prepare(device, matrix);
+    }
     prep.seconds = convert_span.close();
     prep.ns_per_nnz = matrix.nnz() == 0
                           ? 0.0
                           : prep.seconds * 1e9 / static_cast<double>(matrix.nnz());
-    prep.footprint = kernel->footprint();
+    prep.footprint = sharded != nullptr ? sharded->footprint() : kernel->footprint();
     prep.bytes_per_nnz = prep.footprint.bytes_per_nnz(matrix.nnz());
 
     if (options.verify_format) {
       ScopedSpan span(telemetry.get(), "verify_format");
-      const san::FormatReport report = kernel->check_format();
+      const san::FormatReport report =
+          sharded != nullptr ? sharded->check_format() : kernel->check_format();
       SPADEN_REQUIRE(report.ok(), "uploaded %s format fails verification:\n%s",
                      report.format.c_str(), report.summary().c_str());
       if (telemetry != nullptr) {
@@ -82,6 +109,55 @@ struct SpmvEngine::Impl {
   }
 };
 
+// Multi-device multiply (gpusim/multidevice): ShardedSpmv does the real
+// work — per-device upload, halo gating, launch, y concatenation — and the
+// engine keeps its responsibilities identical to the single-device path:
+// first-run verification, telemetry spans, log collection, result assembly.
+SpmvResult SpmvEngine::Impl::multiply_sharded(const std::vector<float>& x,
+                                              std::vector<float>& y,
+                                              std::uint64_t x_generation) {
+  Telemetry* tel = telemetry.get();
+  ScopedSpan multiply_span(tel, "multiply");
+  if (options.verify_first_run && !verified) {
+    ScopedSpan span(tel, "verify");
+    (void)sharded->verify();
+    verified = true;
+  }
+  const kern::GroupResult launch = sharded->multiply(x, y, x_generation);
+  if (tel != nullptr) {
+    for (int d = 0; d < group->size(); ++d) {
+      const sim::Device& dev = group->device(d);
+      const std::vector<sim::ProfileReport>& profiles = dev.profile_log();
+      tel->record_launches(dev.launch_log(), profiles.empty() ? nullptr : &profiles, d);
+    }
+  }
+
+  SpmvResult result;
+  result.modeled_seconds = launch.modeled_seconds;
+  result.gflops = launch.modeled_seconds > 0 ? launch.gflops(matrix.nnz()) : 0.0;
+  result.stats = launch.stats;
+  result.time = launch.time;
+  for (int d = 0; d < group->size(); ++d) {
+    const sim::Device& dev = group->device(d);
+    result.sanitizer.merge(dev.sanitizer_log());
+    result.profiles.insert(result.profiles.end(), dev.profile_log().begin(),
+                           dev.profile_log().end());
+    result.device_profiles.push_back(dev.profile_log());
+  }
+  if (tel != nullptr) {
+    met::MetricsRegistry& reg = tel->metrics();
+    reg.counter("spaden_multiplies_total", tel->labels(), "Engine multiply calls").inc();
+    if (result.sanitizer.enabled) {
+      reg.counter("spaden_sanitizer_findings_total", tel->labels(),
+                  "spaden-sancheck findings across all multiplies")
+          .inc(result.sanitizer.total());
+    }
+    multiply_span.set_modeled_seconds(result.modeled_seconds);
+  }
+  multiply_span.close();
+  return result;
+}
+
 SpmvEngine::SpmvEngine(const mat::Csr& a, EngineOptions options)
     : impl_(std::make_unique<Impl>(a, std::move(options))) {}
 
@@ -102,6 +178,9 @@ SpmvResult SpmvEngine::multiply(const std::vector<float>& x, std::vector<float>&
                                 std::uint64_t x_generation) {
   SPADEN_REQUIRE(x.size() == impl_->matrix.ncols, "x size %zu != ncols %u", x.size(),
                  impl_->matrix.ncols);
+  if (impl_->sharded != nullptr) {
+    return impl_->multiply_sharded(x, y, x_generation);
+  }
   Telemetry* tel = impl_->telemetry.get();
   ScopedSpan multiply_span(tel, "multiply");
   if (impl_->options.verify_first_run && !impl_->verified) {
@@ -168,6 +247,10 @@ SpmvResult SpmvEngine::multiply_batch(const std::vector<const std::vector<float>
                                       std::vector<std::vector<float>>& ys) {
   const auto k = static_cast<mat::Index>(xs.size());
   SPADEN_REQUIRE(k >= 1, "multiply_batch needs at least one right-hand side");
+  SPADEN_REQUIRE(impl_->sharded == nullptr,
+                 "multiply_batch runs on a single device (num_devices == 1); "
+                 "got %d devices",
+                 impl_->group != nullptr ? impl_->group->size() : impl_->options.num_devices);
   for (const std::vector<float>* x : xs) {
     SPADEN_REQUIRE(x != nullptr && x->size() == impl_->matrix.ncols,
                    "batch x size != ncols %u", impl_->matrix.ncols);
@@ -255,7 +338,14 @@ void SpmvEngine::set_telemetry_label(std::string key, std::string value) {
   }
 }
 
-san::FormatReport SpmvEngine::check_format() const { return impl_->kernel->check_format(); }
+san::FormatReport SpmvEngine::check_format() const {
+  return impl_->sharded != nullptr ? impl_->sharded->check_format()
+                                   : impl_->kernel->check_format();
+}
+
+int SpmvEngine::num_devices() const {
+  return impl_->group != nullptr ? impl_->group->size() : 1;
+}
 
 const Telemetry* SpmvEngine::telemetry() const { return impl_->telemetry.get(); }
 

@@ -21,6 +21,7 @@
 
 #include "core/telemetry.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/multidevice.hpp"
 #include "kernels/kernel.hpp"
 #include "matrix/csr.hpp"
 
@@ -36,6 +37,13 @@ struct EngineOptions {
   /// Host threads for kernel simulation. 0 = SPADEN_SIM_THREADS env var,
   /// falling back to hardware_concurrency; 1 = the exact serial launcher.
   int sim_threads = 0;
+  /// Simulated devices (gpusim/multidevice). 1 = the classic single-device
+  /// engine. > 1 row-shards the matrix across a DeviceGroup of this spec,
+  /// models the halo exchange of x over the spec's interconnect
+  /// (apply_link_preset / SPADEN_SIM_LINK), and concatenates the per-shard
+  /// outputs — bit-identical y to a single device for every deterministic
+  /// method. Defaults to the SPADEN_SIM_DEVICES env var (1 when unset).
+  int num_devices = sim::default_sim_devices();
   /// Run every launch under spaden-sancheck (memcheck + racecheck +
   /// sync-lint). Defaults to the SPADEN_SANCHECK env var. Findings land in
   /// SpmvResult::sanitizer; modeled time is unaffected.
@@ -78,8 +86,14 @@ struct SpmvResult {
   /// (empty/enabled=false unless EngineOptions::sanitize is on).
   sim::SanitizerReport sanitizer;
   /// spaden-prof report per launch this multiply issued, in launch order,
-  /// with timeline events (empty unless EngineOptions::profile is on).
+  /// with timeline events (empty unless EngineOptions::profile is on). On a
+  /// multi-device engine this is the per-device logs concatenated in device
+  /// order.
   std::vector<sim::ProfileReport> profiles;
+  /// Per-device profile logs (outer index = device) when the engine runs
+  /// sharded across more than one device. Empty at num_devices == 1, so
+  /// single-device result handling — and its JSON — is unchanged.
+  std::vector<std::vector<sim::ProfileReport>> device_profiles;
 };
 
 /// Preprocessing record (paper Fig. 10).
@@ -128,6 +142,8 @@ class SpmvEngine {
   [[nodiscard]] kern::Method chosen_method() const;
   [[nodiscard]] const PrepInfo& prep() const;
   [[nodiscard]] const sim::DeviceSpec& device() const;
+  /// Simulated devices this engine runs on (EngineOptions::num_devices).
+  [[nodiscard]] int num_devices() const;
   [[nodiscard]] mat::Index nrows() const;
   [[nodiscard]] mat::Index ncols() const;
   [[nodiscard]] std::size_t nnz() const;

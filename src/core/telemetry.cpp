@@ -60,7 +60,8 @@ void Telemetry::end_span(int index, double host_seconds, double modeled_seconds)
 }
 
 void Telemetry::record_launches(const std::vector<sim::LaunchRecord>& launches,
-                                const std::vector<sim::ProfileReport>* profiles) {
+                                const std::vector<sim::ProfileReport>* profiles,
+                                int device) {
   // Only the most recent multiply keeps its device timeline: drop the event
   // buffers of reports retained by earlier calls (their launch spans and
   // metrics stay — just not the per-warp slices).
@@ -97,6 +98,7 @@ void Telemetry::record_launches(const std::vector<sim::LaunchRecord>& launches,
     for (std::size_t j = i; j < group_end; ++j) {
       const sim::LaunchRecord& rec = launches[j];
       const int index = begin_span(rec.kernel_name);
+      spans_[static_cast<std::size_t>(index)].device = device;
       if (profiles != nullptr && j < profiles->size() && (*profiles)[j].enabled) {
         spans_[static_cast<std::size_t>(index)].profile_index =
             static_cast<int>(profiles_.size());
@@ -204,7 +206,7 @@ std::vector<EngineTraceEvent> Telemetry::build_trace() const {
       for (const sim::TraceSlice& s : it->second.first) {
         EngineTraceEvent d;
         d.name = s.name;
-        d.pid = kDevicePid;
+        d.pid = kDevicePid + spans_[i].device;
         d.tid = s.sm;
         d.warp = s.warp;
         d.ts_us = ts[i] + s.ts_us;
@@ -246,14 +248,32 @@ std::string Telemetry::chrome_trace_json() const {
   trace_meta(w, "process_name", kEnginePid, -1, "spaden engine (host)");
   trace_meta(w, "thread_name", kEnginePid, 0, "engine phases");
   trace_meta(w, "process_name", kDevicePid, -1, "gpusim device (modeled)");
-  int max_sm = -1;
+  // One chrome process per device pid: tid lanes are that device's virtual
+  // SMs. Device 0 keeps the historical name so single-device traces are
+  // byte-identical; further devices (gpusim/multidevice) append after it.
+  std::map<int, int> max_sm;  // device pid -> max tid seen
   for (const EngineTraceEvent& e : events) {
-    if (e.pid == kDevicePid) {
-      max_sm = std::max(max_sm, e.tid);
+    if (e.pid >= kDevicePid) {
+      auto [it, inserted] = max_sm.emplace(e.pid, e.tid);
+      if (!inserted) {
+        it->second = std::max(it->second, e.tid);
+      }
     }
   }
-  for (int sm = 0; sm <= max_sm; ++sm) {
-    trace_meta(w, "thread_name", kDevicePid, sm, strfmt("virtual SM %d", sm));
+  if (const auto it = max_sm.find(kDevicePid); it != max_sm.end()) {
+    for (int sm = 0; sm <= it->second; ++sm) {
+      trace_meta(w, "thread_name", kDevicePid, sm, strfmt("virtual SM %d", sm));
+    }
+  }
+  for (const auto& [pid, sms] : max_sm) {
+    if (pid == kDevicePid) {
+      continue;
+    }
+    trace_meta(w, "process_name", pid, -1,
+               strfmt("gpusim device %d (modeled)", pid - kDevicePid));
+    for (int sm = 0; sm <= sms; ++sm) {
+      trace_meta(w, "thread_name", pid, sm, strfmt("virtual SM %d", sm));
+    }
   }
 
   for (const EngineTraceEvent& e : events) {
@@ -266,7 +286,7 @@ std::string Telemetry::chrome_trace_json() const {
     w.field("dur", e.dur_us);
     w.key("args");
     w.begin_object();
-    if (e.pid == kDevicePid) {
+    if (e.pid >= kDevicePid) {
       w.field("warp", e.warp);
       w.field("clock", "modeled");
     } else {

@@ -56,6 +56,9 @@ struct SpanRecord {
   /// Index into Telemetry's retained profile reports for launch spans whose
   /// device timeline was captured (-1 otherwise).
   int profile_index = -1;
+  /// Device index of a launch span (gpusim/multidevice): its device slices
+  /// render under chrome pid kDevicePid + device. 0 on a single device.
+  int device = 0;
   bool open = true;
 };
 
@@ -102,8 +105,10 @@ class Telemetry {
   /// retained reports of *earlier* multiplies drop their timeline events so
   /// memory stays bounded: the stitched trace nests per-SM device slices
   /// under the most recent multiply's launches and keeps every engine span.
+  /// `device` tags the launches with their device index (multi-device
+  /// engines call this once per member device).
   void record_launches(const std::vector<sim::LaunchRecord>& launches,
-                       const std::vector<sim::ProfileReport>* profiles);
+                       const std::vector<sim::ProfileReport>* profiles, int device = 0);
 
   /// Structured stitched timeline. Layout: spans are laid out depth-first —
   /// a span starts where its previous sibling ended and lasts

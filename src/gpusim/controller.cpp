@@ -46,6 +46,9 @@ MemoryController::MemoryController(SectorCache* l1, SectorCache* l2, KernelStats
 void MemoryController::touch_sector(std::uint64_t sector, bool is_store) {
   // Every unique sector of a warp instruction is one LSU wavefront (replay).
   ++stats_->wavefronts;
+  if (remote_ != nullptr && remote_->is_remote(sector)) {
+    ++stats_->remote_sectors;
+  }
   if (l1_->access_line(sector)) {
     stats_->l1_hit_bytes += sector_bytes_;
     return;
@@ -136,6 +139,7 @@ void MemoryController::access(const std::array<std::uint64_t, kWarpSize>& addrs,
   std::uint64_t l1_hits = 0;
   std::uint64_t l2_hits = 0;
   std::uint64_t dram = 0;
+  std::uint64_t remote = 0;
   std::uint64_t prev = ~std::uint64_t{0};
   for (std::size_t i = 0; i < n; ++i) {
     if (i + kPrefetchAhead < n) {
@@ -151,6 +155,9 @@ void MemoryController::access(const std::array<std::uint64_t, kWarpSize>& addrs,
     }
     prev = s;
     ++wavefronts;
+    if (remote_ != nullptr && remote_->is_remote(s)) {
+      ++remote;
+    }
     if (l1_->access_line(s)) {
       ++l1_hits;
       continue;
@@ -166,6 +173,7 @@ void MemoryController::access(const std::array<std::uint64_t, kWarpSize>& addrs,
   stats_->l1_hit_bytes += l1_hits * sector_bytes_;
   stats_->l2_hit_bytes += l2_hits * sector_bytes_;
   stats_->dram_bytes += dram * sector_bytes_;
+  stats_->remote_sectors += remote;
 }
 
 void MemoryController::access_range(std::uint64_t addr, std::uint64_t bytes, bool is_store) {

@@ -18,6 +18,23 @@ namespace spaden::sim {
 
 class SharedL2;
 
+/// Sector-id window classifying halo traffic for one shard of a device
+/// group (gpusim/multidevice): sectors inside [lo, hi) belong to the x
+/// vector; the sub-range [own_lo, own_hi) is the slice this device owns.
+/// Accesses to x sectors outside the owned slice are remote — they count
+/// into KernelStats::remote_sectors and gate the warp on the modeled halo
+/// transfer (gpusim/sched).
+struct RemoteWindow {
+  std::uint64_t lo = 0;      ///< first x sector (inclusive)
+  std::uint64_t hi = 0;      ///< one past the last x sector
+  std::uint64_t own_lo = 0;  ///< first locally-owned x sector
+  std::uint64_t own_hi = 0;  ///< one past the last locally-owned x sector
+
+  [[nodiscard]] bool is_remote(std::uint64_t sector) const {
+    return sector >= lo && sector < hi && (sector < own_lo || sector >= own_hi);
+  }
+};
+
 class MemoryController {
  public:
   static constexpr int kWarpSize = 32;
@@ -32,6 +49,10 @@ class MemoryController {
   /// controller's private L2 (null = private; the private cache still
   /// defines the sector geometry). Opt-in via Device::set_shared_l2.
   void set_shared_l2(SharedL2* shared) { shared_l2_ = shared; }
+
+  /// Classify accesses against a halo window (null = everything local, the
+  /// single-device fast path — no extra work in the probe loops).
+  void set_remote_window(const RemoteWindow* remote) { remote_ = remote; }
 
   /// One warp-level memory instruction. `addrs[i]` / `sizes[i]` describe lane
   /// i's access; lanes with a clear bit in `mask` are inactive.
@@ -55,6 +76,7 @@ class MemoryController {
   SectorCache* l1_;
   SectorCache* l2_;
   SharedL2* shared_l2_ = nullptr;
+  const RemoteWindow* remote_ = nullptr;
   KernelStats* stats_;
   std::uint32_t sector_bytes_;
   std::uint32_t sector_shift_;

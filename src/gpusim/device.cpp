@@ -68,13 +68,27 @@ SharedL2* Device::ensure_shared_l2() {
   return shared_l2_.get();
 }
 
-std::vector<std::uint64_t> Device::partition_bounds(std::uint64_t num_warps) const {
+std::vector<std::uint64_t> Device::partition_bounds(std::string_view name,
+                                                    std::uint64_t num_warps) const {
   const auto t_count = static_cast<std::uint64_t>(threads_);
   std::vector<std::uint64_t> bounds(t_count + 1, num_warps);
   bounds[0] = 0;
+  // Weight source precedence: launch-keyed (exact name AND size match) over
+  // the global vector (size match), so multi-launch kernels whose secondary
+  // launch happens to share the primary's warp count still get the right
+  // weights instead of a stale set.
+  const std::vector<std::uint64_t>* weights = nullptr;
   std::uint64_t total_weight = 0;
-  if (partition_ == WarpPartition::NnzBalanced && warp_weights_.size() == num_warps) {
-    for (const std::uint64_t weight : warp_weights_) {
+  if (partition_ == WarpPartition::NnzBalanced) {
+    const std::vector<std::uint64_t>& keyed = launch_warp_weights(name);
+    if (keyed.size() == num_warps) {
+      weights = &keyed;
+    } else if (warp_weights_.size() == num_warps) {
+      weights = &warp_weights_;
+    }
+  }
+  if (weights != nullptr) {
+    for (const std::uint64_t weight : *weights) {
       total_weight += weight;
     }
   }
@@ -95,8 +109,8 @@ std::vector<std::uint64_t> Device::partition_bounds(std::uint64_t num_warps) con
   for (std::uint64_t t = 1; t < t_count; ++t) {
     const auto target = static_cast<std::uint64_t>(
         (static_cast<unsigned __int128>(total_weight) * t) / t_count);
-    while (warp < num_warps && prefix + warp_weights_[warp] / 2 < target) {
-      prefix += warp_weights_[warp];
+    while (warp < num_warps && prefix + (*weights)[warp] / 2 < target) {
+      prefix += (*weights)[warp];
       ++warp;
     }
     bounds[t] = warp;

@@ -189,6 +189,53 @@ class Device {
     return warp_weights_;
   }
 
+  /// Weights for one named launch. Multi-launch kernels (csr_adaptive,
+  /// DASP) issue secondary launches with different warp counts; with only
+  /// the global vector those launches would reuse stale weights whenever
+  /// their warp counts happen to collide. A launch first looks up weights
+  /// keyed by its own name, then falls back to the global vector, then to
+  /// the equal-count split (size mismatches skip a level the same way the
+  /// global path always has).
+  void set_launch_warp_weights(std::string name, std::vector<std::uint64_t> weights) {
+    for (auto& [key, value] : launch_weights_) {
+      if (key == name) {
+        value = std::move(weights);
+        return;
+      }
+    }
+    launch_weights_.emplace_back(std::move(name), std::move(weights));
+  }
+  void clear_launch_warp_weights() { launch_weights_.clear(); }
+  /// Keyed weights for `name` (empty vector when none installed).
+  [[nodiscard]] const std::vector<std::uint64_t>& launch_warp_weights(
+      std::string_view name) const {
+    static const std::vector<std::uint64_t> kNone;
+    for (const auto& [key, value] : launch_weights_) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return kNone;
+  }
+
+  /// Halo window for multi-device sharding (gpusim/multidevice): x sectors
+  /// outside the owned slice count into KernelStats::remote_sectors and,
+  /// under an interleaving scheduler, gate the touching warp on the modeled
+  /// transfer. Cleared (default) = everything local, zero cost.
+  void set_remote_window(const RemoteWindow& window) {
+    remote_window_ = window;
+    remote_on_ = true;
+  }
+  void clear_remote_window() {
+    remote_on_ = false;
+    comm_ready_cycles_ = 0;
+  }
+  /// SM-clock cycle (per launch, from cycle 0) the modeled halo transfer
+  /// lands; remote-touching memory ops cannot complete earlier. Forwarded
+  /// to every pooled WarpScheduler.
+  void set_comm_ready_cycles(double cycles) { comm_ready_cycles_ = cycles; }
+  [[nodiscard]] double comm_ready_cycles() const { return comm_ready_cycles_; }
+
   /// spaden-sancheck (memcheck + racecheck + sync-lint). Off the timing
   /// path: counters and modeled time are identical with it on or off.
   [[nodiscard]] bool sanitize() const { return sanitize_; }
@@ -293,8 +340,8 @@ class Device {
       run_serial(num_warps, kernel, result.stats, sanitize_ ? &shards[0] : nullptr,
                  profile_ ? &pshards[0] : nullptr, shared);
     } else {
-      run_parallel(num_warps, kernel, result.stats, sanitize_ ? &shards : nullptr,
-                   profile_ ? &pshards : nullptr, shared);
+      run_parallel(result.kernel_name, num_warps, kernel, result.stats,
+                   sanitize_ ? &shards : nullptr, profile_ ? &pshards : nullptr, shared);
     }
     if (sanitize_) {
       result.sanitizer = sanitize_analyze(result.kernel_name, shards, memory_.registry());
@@ -340,7 +387,9 @@ class Device {
   /// Per-SM warp-range boundaries (t_count + 1 entries) for the configured
   /// partition: contiguous equal-count chunks, or contiguous chunks whose
   /// boundaries equalize the per-warp weight prefix sums (NnzBalanced).
-  [[nodiscard]] std::vector<std::uint64_t> partition_bounds(std::uint64_t num_warps) const;
+  /// `name` selects launch-keyed weights before the global vector.
+  [[nodiscard]] std::vector<std::uint64_t> partition_bounds(std::string_view name,
+                                                            std::uint64_t num_warps) const;
   /// Print a non-clean per-launch report to stderr (out-of-line: keeps
   /// iostream machinery out of the hot launch template).
   static void report_findings(const SanitizerReport& report);
@@ -363,10 +412,11 @@ class Device {
   [[nodiscard]] WarpScheduler& pooled_scheduler(std::size_t sm, std::uint64_t num_warps) {
     std::unique_ptr<WarpScheduler>& slot = sched_pool_[sm];
     const int window = resident_window(spec_, sched_, num_warps);
+    const double comm = remote_on_ ? comm_ready_cycles_ : 0;
     if (slot == nullptr) {
-      slot = std::make_unique<WarpScheduler>(sched_.policy, window, &timing_spec());
+      slot = std::make_unique<WarpScheduler>(sched_.policy, window, &timing_spec(), comm);
     } else {
-      slot->reconfigure(sched_.policy, window, &timing_spec());
+      slot->reconfigure(sched_.policy, window, &timing_spec(), comm);
     }
     return *slot;
   }
@@ -403,6 +453,7 @@ class Device {
                   SanShard* shard, ProfShard* pshard, SharedL2* shared) {
     controller_.set_stats(&stats);
     controller_.set_shared_l2(shared);
+    controller_.set_remote_window(remote_on_ ? &remote_window_ : nullptr);
     WarpCtx ctx(&controller_, &stats);
     ctx.set_sanitizer(shard);
     ctx.set_profiler(pshard);
@@ -415,27 +466,30 @@ class Device {
     }
     controller_.set_stats(&scratch_stats_);
     controller_.set_shared_l2(nullptr);
+    controller_.set_remote_window(nullptr);
   }
 
   template <typename Kernel>
-  void run_parallel(std::uint64_t num_warps, Kernel& kernel, KernelStats& stats,
-                    std::vector<SanShard>* shards, std::vector<ProfShard>* pshards,
-                    SharedL2* shared) {
+  void run_parallel(std::string_view name, std::uint64_t num_warps, Kernel& kernel,
+                    KernelStats& stats, std::vector<SanShard>* shards,
+                    std::vector<ProfShard>* pshards, SharedL2* shared) {
     ensure_sms();
     ensure_pool();
     const auto t_count = static_cast<std::uint64_t>(threads_);
     const bool stripe = partition_ == WarpPartition::RoundRobinStripe;
     const std::vector<std::uint64_t> bounds =
-        stripe ? std::vector<std::uint64_t>{} : partition_bounds(num_warps);
+        stripe ? std::vector<std::uint64_t>{} : partition_bounds(name, num_warps);
+    const RemoteWindow* remote = remote_on_ ? &remote_window_ : nullptr;
     std::vector<KernelStats> local_stats(t_count);
     std::vector<std::exception_ptr> errors(t_count);
     pool_->run([this, &bounds, &kernel, &local_stats, &errors, shards, pshards, shared,
-                stripe, t_count, num_warps](int worker) {
+                remote, stripe, t_count, num_warps](int worker) {
       const auto t = static_cast<std::uint64_t>(worker);
       try {
         VirtualSm& sm = *sms_[t];
         MemoryController mc(&sm.l1, &sm.l2, &local_stats[t]);
         mc.set_shared_l2(shared);
+        mc.set_remote_window(remote);
         WarpCtx ctx(&mc, &local_stats[t]);
         SanShard* shard = shards != nullptr ? &(*shards)[t] : nullptr;
         ctx.set_sanitizer(shard);
@@ -486,6 +540,12 @@ class Device {
   std::unique_ptr<SharedL2> shared_l2_;  // lazily built when enabled
   WarpPartition partition_ = WarpPartition::NnzBalanced;
   std::vector<std::uint64_t> warp_weights_;
+  /// Launch-name-keyed weight sets (set_launch_warp_weights); linear scan —
+  /// kernels install at most a couple of entries.
+  std::vector<std::pair<std::string, std::vector<std::uint64_t>>> launch_weights_;
+  RemoteWindow remote_window_{};
+  bool remote_on_ = false;
+  double comm_ready_cycles_ = 0;
   bool sanitize_ = default_sancheck();
   SanitizerReport san_log_;
   bool profile_ = default_profile();

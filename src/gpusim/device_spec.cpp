@@ -2,10 +2,41 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 
 #include "common/error.hpp"
 
 namespace spaden::sim {
+
+std::string default_link_preset() {
+  const char* env = std::getenv("SPADEN_SIM_LINK");
+  if (env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "nvlink";
+}
+
+void apply_link_preset(DeviceSpec& spec, const std::string& preset) {
+  std::string lower(preset.size(), '\0');
+  std::transform(preset.begin(), preset.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "nvlink") {
+    // NVLink-class: a few-GB/s-per-lane mesh, several peer links live at once.
+    spec.link_latency_us = 2.0;
+    spec.link_bandwidth_gbps = 50.0;
+    spec.links_per_device = 4;
+    return;
+  }
+  if (lower == "pcie") {
+    // PCIe-class: one shared host link, higher latency, lower bandwidth.
+    spec.link_latency_us = 10.0;
+    spec.link_bandwidth_gbps = 25.0;
+    spec.links_per_device = 1;
+    return;
+  }
+  throw Error(
+      strfmt("unknown link preset '%s' (expected 'nvlink' or 'pcie')", preset.c_str()));
+}
 
 DeviceSpec l40() {
   DeviceSpec d;
@@ -38,6 +69,7 @@ DeviceSpec l40() {
   d.cuda_issue_efficiency_ilv = 0.7;
   d.mem_parallelism_ilv = 5.0;
   d.stall_exposure_ilv = 0.5;
+  apply_link_preset(d, default_link_preset());
   return d;
 }
 
@@ -66,6 +98,7 @@ DeviceSpec v100() {
   d.cuda_issue_efficiency_ilv = 0.7;
   d.mem_parallelism_ilv = 4.0;
   d.stall_exposure_ilv = 0.5;
+  apply_link_preset(d, default_link_preset());
   return d;
 }
 
@@ -124,7 +157,14 @@ TimeBreakdown estimate_component_time(const DeviceSpec& spec, const KernelStats&
   t.t_stall = static_cast<double>(stats.exposed_stall_cycles) * spec.stall_exposure_ilv /
               (sms * spec.clock_ghz * 1e9);
 
-  t.total = std::max({t.t_dram, t.t_l2, t.t_lsu, t.t_cuda, t.t_tc}) + t.t_stall;
+  // Communication waits are genuine wire time measured against the same
+  // per-SM clocks as stalls, but nothing overlaps them by construction (the
+  // scheduler already discounted overlap when it split the clock jump), so
+  // no exposure derate.
+  t.t_comm =
+      static_cast<double>(stats.comm_stall_cycles) / (sms * spec.clock_ghz * 1e9);
+
+  t.total = std::max({t.t_dram, t.t_l2, t.t_lsu, t.t_cuda, t.t_tc}) + t.t_stall + t.t_comm;
   return t;
 }
 

@@ -104,6 +104,18 @@ struct DeviceSpec {
   /// the other _ilv constants (tools/calibrate_sched.py).
   double stall_exposure_ilv = 1.0;
 
+  // --- interconnect (multi-device execution, gpusim/multidevice) ---
+  // One point-to-point link model shared by every device pair in a group:
+  // a shard's halo fetch of remote x sectors costs
+  //   wire_seconds = link_latency_us * 1e-6
+  //                + halo_bytes / (link_bandwidth_gbps * 1e9 * active_links)
+  // where active_links = min(peer count, links_per_device). Presets:
+  // apply_link_preset("nvlink"|"pcie"); the SPADEN_SIM_LINK env selects the
+  // default at construction (nvlink when unset).
+  double link_latency_us = 2.0;      ///< one-way launch-to-first-byte latency
+  double link_bandwidth_gbps = 50.0; ///< GB/s per direction per link
+  int links_per_device = 4;          ///< concurrent peer links per device
+
   /// Peak CUDA-core lane-op rate (ops/s): one op per core per cycle.
   [[nodiscard]] double cuda_op_rate() const {
     return static_cast<double>(sm_count) * cuda_cores_per_sm * clock_ghz * 1e9;
@@ -134,6 +146,17 @@ DeviceSpec v100();
 
 /// Look up a preset by name ("l40" or "v100"); throws on unknown name.
 DeviceSpec device_by_name(const std::string& name);
+
+/// Overwrite the interconnect fields with a named preset:
+///   "nvlink" — 2 us latency, 50 GB/s per direction, 4 links per device
+///   "pcie"   — 10 us latency, 25 GB/s per direction, 1 link per device
+/// Throws on unknown name.
+void apply_link_preset(DeviceSpec& spec, const std::string& preset);
+
+/// Link preset name from SPADEN_SIM_LINK, defaulting to "nvlink". l40() and
+/// v100() apply it at construction so every path (engine, CLI, benches)
+/// sees the same interconnect without extra plumbing.
+std::string default_link_preset();
 
 /// Convert measured counters into a modeled execution time. When the stats
 /// carry exposed_stall_cycles (interleaved scheduling), an additive

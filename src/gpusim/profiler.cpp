@@ -335,12 +335,12 @@ double component_us(const DeviceSpec& spec, const KernelStats& now, const Kernel
   return estimate_component_time(spec, delta, occupancy).total * 1e6;
 }
 
-void trace_event(JsonWriter& w, std::string_view name, int sm, std::uint64_t warp,
+void trace_event(JsonWriter& w, std::string_view name, int pid, int sm, std::uint64_t warp,
                  double ts_us, double dur_us) {
   w.begin_object();
   w.field("name", name);
   w.field("ph", "X");
-  w.field("pid", 0);
+  w.field("pid", pid);
   w.field("tid", sm);
   w.field("ts", ts_us);
   w.field("dur", dur_us);
@@ -447,7 +447,67 @@ std::string chrome_trace_json(const std::vector<ProfileReport>& launches) {
     slices.clear();
     launch_base_us = collect_launch_slices(launch, launch_base_us, slices);
     for (const TraceSlice& s : slices) {
-      trace_event(w, s.name, s.sm, s.warp, s.ts_us, s.dur_us);
+      trace_event(w, s.name, 0, s.sm, s.warp, s.ts_us, s.dur_us);
+    }
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.field("generator", "spaden-prof");
+  w.field("schema", kProfSchema);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string chrome_trace_json(const std::vector<std::vector<ProfileReport>>& devices) {
+  JsonWriter w(/*pretty=*/false);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const int pid = static_cast<int>(d);
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", pid);
+    w.key("args");
+    w.begin_object();
+    w.field("name", strfmt("device %d", pid));
+    w.end_object();
+    w.end_object();
+    int max_sm = 0;
+    for (const ProfileReport& launch : devices[d]) {
+      max_sm = std::max(max_sm, static_cast<int>(launch.sms.size()));
+    }
+    for (int sm = 0; sm < std::max(max_sm, 1); ++sm) {
+      w.begin_object();
+      w.field("name", "thread_name");
+      w.field("ph", "M");
+      w.field("pid", pid);
+      w.field("tid", sm);
+      w.key("args");
+      w.begin_object();
+      w.field("name", strfmt("virtual SM %d", sm));
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  // Devices execute concurrently, so each device's launches lay out
+  // back-to-back from its own t=0 — lanes across pids share one time axis.
+  std::vector<TraceSlice> slices;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    double launch_base_us = 0;
+    for (const ProfileReport& launch : devices[d]) {
+      slices.clear();
+      launch_base_us = collect_launch_slices(launch, launch_base_us, slices);
+      for (const TraceSlice& s : slices) {
+        trace_event(w, s.name, static_cast<int>(d), s.sm, s.warp, s.ts_us, s.dur_us);
+      }
     }
   }
 

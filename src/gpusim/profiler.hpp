@@ -268,6 +268,13 @@ double collect_launch_slices(const ProfileReport& launch, double base_us,
 /// back-to-back, timestamps in microseconds of modeled time.
 [[nodiscard]] std::string chrome_trace_json(const std::vector<ProfileReport>& launches);
 
+/// Multi-device variant: one chrome process (pid) per device, each with its
+/// own virtual-SM lanes; device d's launches lay out back-to-back from that
+/// device's t=0 (devices run concurrently in the model). devices[d] is
+/// device d's profile log.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<std::vector<ProfileReport>>& devices);
+
 /// Profiler default from the environment: SPADEN_PROFILE set to anything but
 /// "" or "0" enables spaden-prof on new devices.
 [[nodiscard]] bool default_profile();

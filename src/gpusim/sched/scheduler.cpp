@@ -8,17 +8,22 @@
 
 namespace spaden::sim {
 
-WarpScheduler::WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec) {
-  reconfigure(policy, window, spec);
+WarpScheduler::WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec,
+                             double comm_ready_cycles) {
+  reconfigure(policy, window, spec, comm_ready_cycles);
 }
 
-void WarpScheduler::reconfigure(SchedPolicy policy, int window, const DeviceSpec* spec) {
+void WarpScheduler::reconfigure(SchedPolicy policy, int window, const DeviceSpec* spec,
+                                double comm_ready_cycles) {
   SPADEN_REQUIRE(policy != SchedPolicy::Serial,
                  "WarpScheduler requires an interleaving policy (rr|gto)");
   SPADEN_REQUIRE(window >= 1, "resident window %d must be >= 1", window);
+  SPADEN_REQUIRE(comm_ready_cycles >= 0, "comm_ready_cycles %g must be >= 0",
+                 comm_ready_cycles);
   policy_ = policy;
   window_ = window;
   spec_ = spec;
+  comm_ready_ = comm_ready_cycles;
 }
 
 void WarpScheduler::fiber_entry(void* raw) {
@@ -111,6 +116,11 @@ double WarpScheduler::op_latency() {
   }
   op_dram_mark_ = dram;
   op_sector_mark_ = sectors;
+  if (comm_ready_ > 0) {
+    const std::uint64_t remote = stats_->remote_sectors;
+    op_was_remote_ = remote != op_remote_mark_;
+    op_remote_mark_ = remote;
+  }
   return latency;
 }
 
@@ -186,7 +196,15 @@ std::size_t WarpScheduler::pick() {
       }
     }
     SPADEN_ASSERT(any && min_ready > now_, "stall advance with no pending completion");
-    pending_stall_ += min_ready - now_;
+    // Split the jump between interconnect wait and memory stall: cycles
+    // spent before the halo transfer lands are wire time the compute could
+    // not cover (t_comm); everything after is an ordinary exposed stall.
+    // With comm_ready_ = 0 the comm share is empty and the accounting is
+    // exactly the single-device model.
+    const double comm_share =
+        std::clamp(comm_ready_ - now_, 0.0, min_ready - now_);
+    pending_comm_ += comm_share;
+    pending_stall_ += (min_ready - now_) - comm_share;
     now_ = min_ready;
   }
 }
@@ -213,6 +231,12 @@ void WarpScheduler::yield_point() {
   // genuinely outstanding op — that is the instruction-grained refinement
   // that replaces one fiber switch per op with one per filled scoreboard.
   const double latency = op_latency();
+  // A remote (halo) op cannot complete before the modeled transfer lands:
+  // its completion is clamped to comm_ready_. Local ops are untouched, so
+  // warps on local columns keep issuing while halo warps fill their
+  // scoreboards and suspend — the comm/compute overlap.
+  const bool remote = op_was_remote_;
+  op_was_remote_ = false;
   int n = slot.inflight_n;
   for (int i = 0; i < n;) {
     if (slot.inflight[static_cast<std::size_t>(i)] <= now_) {
@@ -223,7 +247,11 @@ void WarpScheduler::yield_point() {
     }
   }
   if (n < scoreboard_slots_) {
-    slot.inflight[static_cast<std::size_t>(n)] = now_ + latency;
+    double done = now_ + latency;
+    if (remote && done < comm_ready_) {
+      done = comm_ready_;
+    }
+    slot.inflight[static_cast<std::size_t>(n)] = done;
     slot.inflight_n = n + 1;
     return;  // a slot was free: the op issues without suspending the warp
   }
@@ -237,7 +265,11 @@ void WarpScheduler::yield_point() {
     }
   }
   const double t0 = slot.inflight[static_cast<std::size_t>(min_i)];
-  slot.inflight[static_cast<std::size_t>(min_i)] = t0 + latency;
+  double done = t0 + latency;
+  if (remote && done < comm_ready_) {
+    done = comm_ready_;
+  }
+  slot.inflight[static_cast<std::size_t>(min_i)] = done;
   slot.inflight_n = n;
   slot.ready_at = t0;
   slot.fiber.yield();
@@ -283,8 +315,11 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
   timing_ = spec_ != nullptr && window > 1;
   now_ = 0;
   pending_stall_ = 0;
+  pending_comm_ = 0;
   op_dram_mark_ = stats_->dram_bytes;
   op_sector_mark_ = stats_->sectors;
+  op_remote_mark_ = stats_->remote_sectors;
+  op_was_remote_ = false;
   if (timing_) {
     tc_flops_per_cycle_ = spec_->tc_half_tflops * 1e12 /
                           (static_cast<double>(spec_->sm_count) * spec_->clock_ghz * 1e9);
@@ -304,6 +339,11 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
       if (charge > 0) {
         stats_->exposed_stall_cycles += charge;
         pending_stall_ -= static_cast<double>(charge);
+      }
+      const auto comm = static_cast<std::uint64_t>(pending_comm_);
+      if (comm > 0) {
+        stats_->comm_stall_cycles += comm;
+        pending_comm_ -= static_cast<double>(comm);
       }
       retire(s);
       continue;
@@ -338,6 +378,11 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
         stats_->exposed_stall_cycles += charge;
         pending_stall_ -= static_cast<double>(charge);
       }
+      const auto comm = static_cast<std::uint64_t>(pending_comm_);
+      if (comm > 0) {
+        stats_->comm_stall_cycles += comm;
+        pending_comm_ -= static_cast<double>(comm);
+      }
       interval_snap_ = *stats_;
     }
     const bool suspended = slot.fiber.resume();
@@ -346,8 +391,13 @@ void WarpScheduler::run(WarpCtx& ctx, std::uint64_t start, std::uint64_t stride,
       now_ += issue_cycles(delta);
       if (suspended && policy_ == SchedPolicy::Gto) {
         // Interval accounting; rr set ready_at at the yield point from the
-        // warp's own scoreboard (earliest in-flight completion).
+        // warp's own scoreboard (earliest in-flight completion). An interval
+        // that touched halo sectors additionally waits for the modeled
+        // transfer (interval-grained comm gating under gto).
         slot.ready_at = now_ + completion_latency(delta);
+        if (delta.remote_sectors > 0 && slot.ready_at < comm_ready_) {
+          slot.ready_at = comm_ready_;
+        }
       }
     }
     if (suspended) {

@@ -79,14 +79,21 @@ class WarpScheduler {
   /// `window` is the resident-warp count per SM (see resident_window()).
   /// `spec` enables the latency model (nullptr: pure interleaving, no stall
   /// accounting); pass the spec whose issue constants match the policy —
-  /// Device uses timing_spec().
-  WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec = nullptr);
+  /// Device uses timing_spec(). `comm_ready_cycles` is the SM-clock cycle
+  /// (from run() start) the modeled halo transfer lands: memory ops that
+  /// touch remote sectors (KernelStats::remote_sectors movement) cannot
+  /// complete before it, so halo-touching warps suspend while local warps
+  /// keep issuing — the comm/compute overlap. 0 = no interconnect (exact
+  /// pre-multi-device behavior).
+  WarpScheduler(SchedPolicy policy, int window, const DeviceSpec* spec = nullptr,
+                double comm_ready_cycles = 0);
 
   /// Re-point a pooled scheduler at a (possibly) new configuration before
   /// run(). Fiber slots — and their stacks — are reused when the effective
   /// window is unchanged, which is the arena pooling that removes the
   /// per-launch stack allocation traffic.
-  void reconfigure(SchedPolicy policy, int window, const DeviceSpec* spec = nullptr);
+  void reconfigure(SchedPolicy policy, int window, const DeviceSpec* spec = nullptr,
+                   double comm_ready_cycles = 0);
 
   /// Run warps {start + i*stride : i in [0, count)} of `body` interleaved
   /// over the resident window (stride 1 = one contiguous SM range; stride T
@@ -142,7 +149,7 @@ class WarpScheduler {
   [[nodiscard]] double completion_latency(const KernelStats& delta) const;
   /// Raw latency of the memory op just charged, classified from the
   /// since-last-op counter marks (rr scoreboard accounting). Updates the
-  /// marks.
+  /// marks and op_was_remote_ (the op touched halo sectors).
   [[nodiscard]] double op_latency();
 
   SchedPolicy policy_;
@@ -165,10 +172,14 @@ class WarpScheduler {
   std::uint64_t dram_mark_ = 0;    ///< stats_->dram_bytes when current_ resumed
   std::uint64_t op_dram_mark_ = 0;    ///< stats_->dram_bytes after the previous memory op
   std::uint64_t op_sector_mark_ = 0;  ///< stats_->sectors after the previous memory op
+  std::uint64_t op_remote_mark_ = 0;  ///< stats_->remote_sectors after the previous op
+  bool op_was_remote_ = false;     ///< the op just classified touched halo sectors
   int scoreboard_slots_ = 1;       ///< per-warp in-flight memory ops (rr)
   bool timing_ = false;            ///< latency model active this run
   double now_ = 0;                 ///< virtual SM clock, cycles since run() start
+  double comm_ready_ = 0;          ///< cycle the modeled halo transfer lands (0 = none)
   double pending_stall_ = 0;     ///< stall cycles awaiting charge (+ residue < 1)
+  double pending_comm_ = 0;      ///< comm-wait cycles awaiting charge (+ residue < 1)
   double tc_flops_per_cycle_ = 0;
   KernelStats interval_snap_{};  ///< stats when current_ was (re)started
   std::exception_ptr error_;

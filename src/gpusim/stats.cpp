@@ -23,6 +23,8 @@ KernelStats& KernelStats::operator+=(const KernelStats& o) {
   shuffle_lane_ops += o.shuffle_lane_ops;
   warps_launched += o.warps_launched;
   exposed_stall_cycles += o.exposed_stall_cycles;
+  remote_sectors += o.remote_sectors;
+  comm_stall_cycles += o.comm_stall_cycles;
   return *this;
 }
 
@@ -47,6 +49,8 @@ KernelStats& KernelStats::operator-=(const KernelStats& o) {
   sub(shuffle_lane_ops, o.shuffle_lane_ops);
   sub(warps_launched, o.warps_launched);
   sub(exposed_stall_cycles, o.exposed_stall_cycles);
+  sub(remote_sectors, o.remote_sectors);
+  sub(comm_stall_cycles, o.comm_stall_cycles);
   return *this;
 }
 
@@ -71,6 +75,14 @@ void KernelStats::to_json(JsonWriter& w) const {
   if (exposed_stall_cycles != 0) {
     w.field("exposed_stall_cycles", exposed_stall_cycles);
   }
+  // Same byte-identity contract for the multi-device counters: both stay
+  // zero whenever a launch runs without a device group's remote window.
+  if (remote_sectors != 0) {
+    w.field("remote_sectors", remote_sectors);
+  }
+  if (comm_stall_cycles != 0) {
+    w.field("comm_stall_cycles", comm_stall_cycles);
+  }
   w.end_object();
 }
 
@@ -84,6 +96,9 @@ void TimeBreakdown::to_json(JsonWriter& w) const {
   w.field("t_launch", t_launch);
   if (t_stall != 0) {
     w.field("t_stall", t_stall);
+  }
+  if (t_comm != 0) {
+    w.field("t_comm", t_comm);
   }
   w.field("total", total);
   w.field("bound_by", bound_by());
@@ -107,6 +122,9 @@ std::string KernelStats::summary() const {
 
 const char* TimeBreakdown::bound_by() const {
   const double m = std::max({t_dram, t_l2, t_lsu, t_cuda, t_tc});
+  if (t_comm > m && t_comm > t_stall && t_comm > t_launch) {
+    return "comm";
+  }
   if (t_stall > m && t_stall > t_launch) {
     return "stall";
   }
@@ -129,6 +147,13 @@ const char* TimeBreakdown::bound_by() const {
 }
 
 std::string TimeBreakdown::summary() const {
+  if (t_comm != 0) {
+    return strfmt(
+        "total=%.3f us (dram=%.3f l2=%.3f lsu=%.3f cuda=%.3f tc=%.3f launch=%.3f "
+        "stall=%.3f comm=%.3f) bound=%s",
+        total * 1e6, t_dram * 1e6, t_l2 * 1e6, t_lsu * 1e6, t_cuda * 1e6, t_tc * 1e6,
+        t_launch * 1e6, t_stall * 1e6, t_comm * 1e6, bound_by());
+  }
   if (t_stall != 0) {
     return strfmt(
         "total=%.3f us (dram=%.3f l2=%.3f lsu=%.3f cuda=%.3f tc=%.3f launch=%.3f "

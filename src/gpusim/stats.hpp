@@ -79,6 +79,13 @@ struct KernelStats {
                                            ///< op and nothing could issue
                                            ///< (gpusim/sched; 0 under serial)
 
+  // --- multi-device halo traffic (gpusim/multidevice; 0 single-device) ---
+  std::uint64_t remote_sectors = 0;     ///< L2 sector accesses into x columns
+                                        ///< owned by a peer device (halo)
+  std::uint64_t comm_stall_cycles = 0;  ///< SM cycles nothing could issue
+                                        ///< because warps waited on the
+                                        ///< modeled halo transfer
+
   KernelStats& operator+=(const KernelStats& o);
   /// Counter-wise difference (spaden-prof range attribution: counters at
   /// range exit minus counters at range entry). Requires o <= *this
@@ -116,10 +123,12 @@ struct TimeBreakdown {
   double t_launch = 0;  ///< fixed kernel-launch overhead
   double t_stall = 0;   ///< exposed-stall correction (latency nothing covered;
                         ///< additive on top of the binding roofline term)
-  double total = 0;     ///< t_launch + max(throughput terms) + t_stall
+  double t_comm = 0;    ///< interconnect wait (modeled halo-exchange wire time
+                        ///< compute could not cover; additive like t_stall)
+  double total = 0;     ///< t_launch + max(throughput terms) + t_stall + t_comm
 
   /// Name of the binding resource ("dram", "l2", "lsu", "cuda", "tc",
-  /// "stall", "launch").
+  /// "stall", "comm", "launch").
   [[nodiscard]] const char* bound_by() const;
   [[nodiscard]] std::string summary() const;
 

@@ -56,14 +56,18 @@ class CsrAdaptiveKernel final : public SpmvKernel {
     num_blocks_ = block_row.size() - 1;
     // One warp per row block: balance on the block's nonzero span. Blocks
     // are already nnz-capped, but trailing short blocks and empty-row runs
-    // still skew an equal-count split; the weights make it exact. (The zero
-    // pass launches a different warp count and falls back to equal-count.)
+    // still skew an equal-count split; the weights make it exact. Keyed to
+    // the main launch so the zero pass — whose warp count can collide with
+    // num_blocks_ — always falls back to the equal-count split instead of
+    // reusing these weights; the global vector is cleared for the same
+    // reason.
     std::vector<std::uint64_t> weights(num_blocks_);
     for (std::size_t w = 0; w < num_blocks_; ++w) {
       weights[w] = static_cast<std::uint64_t>(block_nnz_begin[w + 1]) -
                    static_cast<std::uint64_t>(block_nnz_begin[w]);
     }
-    device.set_warp_weights(std::move(weights));
+    device.set_warp_weights({});
+    device.set_launch_warp_weights("csr_adaptive", std::move(weights));
     block_row_ = device.memory().upload(std::move(block_row), "adaptive.block_row");
     block_nnz_begin_ = device.memory().upload(std::move(block_nnz_begin), "adaptive.block_nnz_begin");
   }

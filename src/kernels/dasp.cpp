@@ -110,15 +110,17 @@ class DaspKernel final : public SpmvKernel {
 
     num_groups_ = groups;
     // One warp per group in the dominant dasp_tc pass: balance on the
-    // group's tile-chunk count (its MMA/load iteration count). The zero and
-    // short-row passes launch different warp counts and fall back to the
-    // equal-count partition.
+    // group's tile-chunk count (its MMA/load iteration count). Keyed to that
+    // launch so the zero and short-row passes always take the equal-count
+    // partition even when their warp counts collide with `groups`; the
+    // global vector is cleared for the same reason.
     std::vector<std::uint64_t> weights(groups);
     for (std::size_t g = 0; g < groups; ++g) {
       weights[g] = static_cast<std::uint64_t>(group_ptr[g + 1]) -
                    static_cast<std::uint64_t>(group_ptr[g]);
     }
-    device.set_warp_weights(std::move(weights));
+    device.set_warp_weights({});
+    device.set_launch_warp_weights("dasp_tc", std::move(weights));
     auto& mem = device.memory();
     group_ptr_ = mem.upload(std::move(group_ptr), "dasp.group_ptr");
     group_rows_ = mem.upload(std::move(group_rows), "dasp.group_rows");

@@ -493,16 +493,25 @@ TEST(Sched, KernelsDeriveNnzWarpWeights) {
   // partition has real work estimates to cut by. The weights must cover
   // every stored value exactly once.
   const mat::Csr a = mat::load_dataset("rma10", 0.02);
-  auto weights_after_prepare = [&](kern::Method m) {
+  // Multi-launch kernels (csr_adaptive's zero-fill + main pass, DASP's
+  // three passes) key their weights by launch name so secondary launches
+  // never see stale weights; single-launch kernels still use the global
+  // vector. An empty launch key means "read the global vector".
+  auto weights_after_prepare = [&](kern::Method m, std::string_view launch = {}) {
     Device device = make_device(kSerial);
     auto kernel = kern::make_kernel(m);
     kernel->prepare(device, a);
-    return device.warp_weights();
+    return launch.empty() ? device.warp_weights() : device.launch_warp_weights(launch);
   };
-  for (const kern::Method m :
-       {kern::Method::Spaden, kern::Method::SpadenWide, kern::Method::CusparseCsr,
-        kern::Method::CsrWarp16, kern::Method::CsrAdaptive}) {
-    const std::vector<std::uint64_t> w = weights_after_prepare(m);
+  const std::pair<kern::Method, std::string_view> weighted[] = {
+      {kern::Method::Spaden, {}},
+      {kern::Method::SpadenWide, {}},
+      {kern::Method::CusparseCsr, {}},
+      {kern::Method::CsrWarp16, {}},
+      {kern::Method::CsrAdaptive, "csr_adaptive"},
+  };
+  for (const auto& [m, launch] : weighted) {
+    const std::vector<std::uint64_t> w = weights_after_prepare(m, launch);
     ASSERT_FALSE(w.empty()) << kern::method_name(m);
     std::uint64_t sum = 0;
     for (const std::uint64_t v : w) {
@@ -510,9 +519,13 @@ TEST(Sched, KernelsDeriveNnzWarpWeights) {
     }
     EXPECT_EQ(sum, static_cast<std::uint64_t>(a.nnz())) << kern::method_name(m);
   }
-  // DASP weights count tile chunks per group (not nnz), and LightSpMV's
-  // dynamic row dispatch has no static mapping to weigh at all.
-  EXPECT_FALSE(weights_after_prepare(kern::Method::Dasp).empty());
+  // Keyed kernels leave the global vector clear — that's the point of the
+  // fix: a later launch with a colliding warp count can't inherit them.
+  EXPECT_TRUE(weights_after_prepare(kern::Method::CsrAdaptive).empty());
+  // DASP weights count tile chunks per group (not nnz) and belong to the
+  // dominant dasp_tc pass; LightSpMV's dynamic row dispatch has no static
+  // mapping to weigh at all.
+  EXPECT_FALSE(weights_after_prepare(kern::Method::Dasp, "dasp_tc").empty());
   EXPECT_TRUE(weights_after_prepare(kern::Method::LightSpmv).empty());
 }
 

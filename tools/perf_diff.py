@@ -31,6 +31,14 @@ only move when an observation crosses a log-bucket boundary (a >= 1.78x
 shift), so any line printed here is a real latency trend, but the mode
 never affects the exit code.
 
+Multi-device figures (BENCH_multigpu.json) additionally trend parallel
+efficiency (geomean strong-scaling speedup@N divided by N): every
+`parallel_efficiency@N` metric present on both sides prints its movement,
+and a relative drop of more than 5% at N=4 prints a WARNING line. The
+warning is diagnostic only and never affects the exit code — efficiency
+legitimately moves with comm-model or shard-planner changes, and the
+gating signal remains the per-run gflops diff.
+
 Within a figure, runs are matched by (method, device, matrix). A current
 run whose gflops is more than `tolerance` below the baseline's is a
 regression; improvements and new/removed runs are reported but never fail.
@@ -165,12 +173,32 @@ def diff_documents(name, base_doc, curr_doc, tolerance, skip_methods,
     # serving-throughput drop is visible next to the run-level diff.
     base_metrics = {m["name"]: m["value"] for m in base_doc.get("metrics", [])}
     for m in curr_doc.get("metrics", []):
+        if m["name"].startswith("parallel_efficiency@"):
+            continue  # trended separately below
         old = base_metrics.get(m["name"])
         if old is None or old == 0:
             continue
         delta = m["value"] / old - 1.0
         if abs(delta) > tolerance:
             print(f"{name}: metric    {m['name']:<45} {old:8.3f} -> {m['value']:8.3f} ({delta:+.1%})")
+
+    # Multi-device scaling figures: trend parallel efficiency explicitly.
+    # A >5% relative drop at N=4 earns a WARNING — visible in CI logs, but
+    # deliberately non-gating (see the module docstring).
+    for m in curr_doc.get("metrics", []):
+        if not m["name"].startswith("parallel_efficiency@"):
+            continue
+        devices = m["name"].split("@", 1)[1]
+        old = base_metrics.get(m["name"])
+        if old is None or old <= 0:
+            continue
+        delta = m["value"] / old - 1.0
+        print(f"{name}: efficiency {'@' + devices + ' devices':<44} "
+              f"{old:8.3f} -> {m['value']:8.3f} ({delta:+.1%})")
+        if devices == "4" and delta < -0.05:
+            print(f"{name}: WARNING   parallel efficiency at 4 devices dropped "
+                  f"{-delta:.1%} (> 5%); check t_comm and shard balance "
+                  f"(non-gating)")
 
     return len(base.keys() & curr.keys()), len(regressions)
 

@@ -45,6 +45,7 @@ struct Args {
   double scale = 0.25;
   int iters = 1;
   int threads = 0;  // 0 = SPADEN_SIM_THREADS / hardware default
+  int devices = 0;  // --devices N; 0 = SPADEN_SIM_DEVICES / 1
   std::string sched;  // --sched serial|rr|gto[:window]; "" = SPADEN_SIM_SCHED
   int shared_l2 = -1;  // --shared-l2 / --no-shared-l2; -1 = engine default
   bool sancheck = false;
@@ -86,6 +87,10 @@ Args parse(int argc, char** argv) {
       args.iters = next_long("--iters");
     } else if (a == "--threads") {
       args.threads = next_long("--threads");
+    } else if (a == "--devices") {
+      args.devices = next_long("--devices");
+      SPADEN_REQUIRE(args.devices >= 1, "--devices expects >= 1 device, got %d",
+                     args.devices);
     } else if (a == "--sched") {
       args.sched = next("--sched");
     } else if (a == "--shared-l2") {
@@ -166,6 +171,9 @@ int cmd_spmv(const Args& args) {
   EngineOptions options;
   options.device = sim::device_by_name(args.device);
   options.sim_threads = args.threads;
+  if (args.devices > 0) {
+    options.num_devices = args.devices;
+  }
   if (!args.sched.empty()) {
     std::string policy = args.sched;
     if (const auto colon = policy.find(':'); colon != std::string::npos) {
@@ -203,19 +211,28 @@ int cmd_spmv(const Args& args) {
               std::string(kern::method_name(engine.chosen_method())).c_str(),
               engine.device().name.c_str(), engine.prep().seconds * 1e3,
               engine.prep().bytes_per_nnz);
+  if (engine.num_devices() > 1) {
+    std::printf("row-sharded across %d devices (link preset %s)\n", engine.num_devices(),
+                sim::default_link_preset().c_str());
+  }
   std::vector<float> x(a.ncols, 1.0f);
   std::vector<float> y;
   std::uint64_t findings = 0;
   std::vector<sim::ProfileReport> profiles;  // last iteration's launches
+  std::vector<std::vector<sim::ProfileReport>> device_profiles;  // per device, N > 1
   for (int i = 0; i < std::max(args.iters, 1); ++i) {
     SpmvResult r = engine.multiply(x, y);
     std::printf("iter %d: %.2f us modeled, %.1f GFLOP/s (bound by %s)\n", i,
                 r.modeled_seconds * 1e6, r.gflops, r.time.bound_by());
+    if (engine.num_devices() > 1) {
+      std::printf("        t_comm %.2f us on the critical device\n", r.time.t_comm * 1e6);
+    }
     findings += r.sanitizer.total();
     if (options.sanitize && i == 0) {
       std::fputs(r.sanitizer.summary().c_str(), stdout);
     }
     profiles = std::move(r.profiles);
+    device_profiles = std::move(r.device_profiles);
   }
   if (options.profile) {
     for (const auto& report : profiles) {
@@ -240,7 +257,11 @@ int cmd_spmv(const Args& args) {
                 profiles.size());
   }
   if (!args.trace_out.empty()) {
-    write_text_file(args.trace_out, sim::chrome_trace_json(profiles));
+    // Multi-device runs use the per-device trace writer: one chrome process
+    // (pid) per device, each with its own virtual-SM lanes.
+    write_text_file(args.trace_out, device_profiles.empty()
+                                        ? sim::chrome_trace_json(profiles)
+                                        : sim::chrome_trace_json(device_profiles));
     std::printf("wrote chrome trace %s (open via chrome://tracing)\n",
                 args.trace_out.c_str());
   }
@@ -333,6 +354,9 @@ int cmd_serve(const Args& args) {
   serve::RegistryConfig rcfg;
   rcfg.engine.telemetry = rcfg.engine.telemetry || want_telemetry;
   rcfg.engine.profile = rcfg.engine.profile || !args.engine_trace_out.empty();
+  // Serving fuses requests with multiply_batch, which is single-device; a
+  // global SPADEN_SIM_DEVICES must not leak into the serve engines.
+  rcfg.engine.num_devices = 1;
 
   if (args.wall_clock) {
     // AsyncServer: a dispatcher thread forms batches under host-time
@@ -464,6 +488,10 @@ int main(int argc, char** argv) {
           "usage: spaden <info|spmv|verify|convert|serve|datasets|probe> ...\n"
           "  info <matrix>                     structure + format recommendation\n"
           "  spmv <matrix> [--method M] [--device l40|v100] [--iters N] [--threads T]\n"
+          "                [--devices N]     row-shard across N simulated devices joined\n"
+          "                                  by the modeled interconnect (default\n"
+          "                                  SPADEN_SIM_DEVICES or 1; link preset from\n"
+          "                                  SPADEN_SIM_LINK: nvlink|pcie)\n"
           "                [--sched P]       warp scheduling: serial|rr|gto[:window]\n"
           "                                  (default rr; serial = pre-recalibration mode)\n"
           "                [--shared-l2|--no-shared-l2]\n"
